@@ -1,0 +1,307 @@
+package sofya
+
+// Benchmark harness: one benchmark per experiment of DESIGN.md §4 (E1 =
+// the paper's Table 1, E2–E7 the extension ablations) plus
+// micro-benchmarks of the substrates. The experiment benchmarks run on
+// the tiny world so that `go test -bench=.` finishes in minutes; the
+// paper-scale numbers are produced by `go run ./cmd/experiments -spec
+// paper` and recorded in EXPERIMENTS.md.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sofya/internal/core"
+	"sofya/internal/endpoint"
+	"sofya/internal/experiments"
+	"sofya/internal/paris"
+	"sofya/internal/sampling"
+	"sofya/internal/sparql"
+	"sofya/internal/strsim"
+	"sofya/internal/synth"
+)
+
+var (
+	benchWorldOnce sync.Once
+	benchWorld     *synth.World
+)
+
+func world(b *testing.B) *synth.World {
+	b.Helper()
+	benchWorldOnce.Do(func() { benchWorld = synth.Generate(synth.TinySpec()) })
+	return benchWorld
+}
+
+func benchSetup(b *testing.B) *experiments.Setup {
+	return experiments.NewSetup(world(b))
+}
+
+// E1 — Table 1: the three method rows.
+func BenchmarkTable1_PCABaseline(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(experiments.DbpToYago, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_CWABaseline(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(experiments.DbpToYago, core.CWAConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_UBS(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(experiments.DbpToYago, core.UBSConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_FullBothDirections(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2 — sample-size sweep.
+func BenchmarkSampleSizeSweep(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SampleSizeSweep(s, []int{2, 10, 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E3 — threshold sweep over the threshold-0 baseline run.
+func BenchmarkThresholdSweep(b *testing.B) {
+	s := benchSetup(b)
+	res, err := experiments.Table1(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.ThresholdSweep(res)
+	}
+}
+
+// E4 — query-budget accounting.
+func BenchmarkQueryBudget(b *testing.B) {
+	s := benchSetup(b)
+	res, err := experiments.Table1(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.QueryBudget(s, res)
+	}
+}
+
+// E5 — sameAs-coverage sensitivity.
+func BenchmarkSameAsCoverage(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SameAsCoverage(s, []float64{0.5, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6 — UBS strategy ablation.
+func BenchmarkUBSAblation(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UBSAblation(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7 — snapshot (PARIS-style) baseline.
+func BenchmarkSnapshotBaseline(b *testing.B) {
+	w := world(b)
+	links := sampling.LinkView{Links: w.Links, KIsA: true}
+	for i := 0; i < b.N; i++ {
+		paris.Align(w.Yago, w.Dbp, links, paris.DefaultConfig())
+	}
+}
+
+// --- micro-benchmarks of the substrates ---
+
+func BenchmarkAlignRelation_UBS(b *testing.B) {
+	w := world(b)
+	k := endpoint.NewLocal(w.Yago, 1)
+	kp := endpoint.NewLocal(w.Dbp, 2)
+	a := core.New(k, kp, sampling.LinkView{Links: w.Links, KIsA: true}, core.UBSConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AlignRelation("http://yago-knowledge.org/resource/directedBy"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		synth.Generate(synth.TinySpec())
+	}
+}
+
+func BenchmarkSPARQLParse(b *testing.B) {
+	q := `SELECT DISTINCT ?x ?y WHERE {
+		?x <http://x/p> ?y .
+		?y <http://x/q> ?z .
+		FILTER NOT EXISTS { ?x <http://x/r> ?z }
+		FILTER (?x != ?y && STRLEN(STR(?x)) > 3)
+	} ORDER BY RAND() LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPARQLSelectIndexed(b *testing.B) {
+	w := world(b)
+	e := sparql.NewEngine(w.Yago)
+	q := sparql.MustParse(
+		`SELECT ?y WHERE { <http://yago-knowledge.org/resource/The_Nocturne_of_the_Shadow_0> ?p ?y }`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPARQLSelectScan(b *testing.B) {
+	w := world(b)
+	e := sparql.NewEngine(w.Yago)
+	q := sparql.MustParse(
+		`SELECT ?x ?y WHERE { ?x <http://yago-knowledge.org/resource/created> ?y } ORDER BY RAND() LIMIT 50`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndpointSelect(b *testing.B) {
+	w := world(b)
+	ep := endpoint.NewLocal(w.Yago, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ep.Select(`SELECT ?x ?y WHERE { ?x <http://yago-knowledge.org/resource/wasBornIn> ?y } LIMIT 20`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimpleSampling(b *testing.B) {
+	w := world(b)
+	v := &sampling.Validator{
+		K:       endpoint.NewLocal(w.Yago, 1),
+		KPrime:  endpoint.NewLocal(w.Dbp, 2),
+		Links:   sampling.LinkView{Links: w.Links, KIsA: true},
+		Matcher: strsim.DefaultMatcher(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := v.SimpleEvidence(
+			"http://dbpedia.org/property/birthPlace",
+			"http://yago-knowledge.org/resource/wasBornIn", 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnbiasedSampling(b *testing.B) {
+	w := world(b)
+	v := &sampling.Validator{
+		K:      endpoint.NewLocal(w.Yago, 1),
+		KPrime: endpoint.NewLocal(w.Dbp, 2),
+		Links:  sampling.LinkView{Links: w.Links, KIsA: true},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := v.Contradictions(sampling.BodySide,
+			"http://dbpedia.org/property/hasDirector",
+			"http://dbpedia.org/property/hasProducer",
+			"http://yago-knowledge.org/resource/directedBy", 14)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiteralMatcher(b *testing.B) {
+	m := strsim.DefaultMatcher()
+	a := NewLiteral("Frank_Sinatra_Jr")
+	c := NewLangLiteral("Frank Sinatra Jr", "en")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(a, c)
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		strsim.Levenshtein("The Cathedral of the Orchard", "The Cathedrel of the Orchad")
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		strsim.JaroWinkler("The Cathedral of the Orchard", "The Cathedrel of the Orchad")
+	}
+}
+
+func BenchmarkKBHasFact(b *testing.B) {
+	w := world(b)
+	k := w.Yago
+	rels := k.Relations()
+	p := rels[len(rels)/2]
+	subs := k.SubjectsWith(p)
+	if len(subs) == 0 {
+		b.Skip("empty relation")
+	}
+	s := subs[0]
+	o := k.ObjectsOf(s, p)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !k.HasFact(s, p, o) {
+			b.Fatal("fact vanished")
+		}
+	}
+}
+
+func BenchmarkKBLoadNTriples(b *testing.B) {
+	w := world(b)
+	var sb strings.Builder
+	if err := w.Yago.WriteNT(&sb); err != nil {
+		b.Fatal(err)
+	}
+	data := sb.String()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadKB("bench", strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

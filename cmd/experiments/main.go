@@ -1,0 +1,98 @@
+// Command experiments runs the paper's evaluation (Table 1) and the
+// extension ablations E2–E7 over the synthetic world, printing the
+// tables recorded in EXPERIMENTS.md.
+//
+//	experiments -spec paper -e all
+//	experiments -spec tiny -e table1,e4 -md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sofya/internal/eval"
+	"sofya/internal/experiments"
+	"sofya/internal/synth"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "paper", "world size: tiny | paper")
+		which    = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7")
+		markdown = flag.Bool("md", false, "emit markdown tables")
+	)
+	flag.Parse()
+
+	spec := synth.DefaultSpec()
+	if *specName == "tiny" {
+		spec = synth.TinySpec()
+	}
+	start := time.Now()
+	world := synth.Generate(spec)
+	setup := experiments.NewSetup(world)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	has := func(e string) bool { return want["all"] || want[e] }
+
+	emit := func(title string, t *eval.Table) {
+		fmt.Println("##", title)
+		fmt.Println()
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	emit("World", experiments.WorldSummary(world))
+
+	var table1 *experiments.Table1Result
+	needTable1 := has("table1") || has("e3") || has("e4") || has("e7")
+	if needTable1 {
+		var err error
+		table1, err = experiments.Table1(setup)
+		check(err)
+	}
+	if has("table1") {
+		emit("E1 — Table 1: alignment subsumptions, YAGO ↔ DBpedia", table1.Render())
+	}
+	if has("e2") {
+		points, err := experiments.SampleSizeSweep(setup, []int{1, 2, 5, 10, 20, 50})
+		check(err)
+		emit("E2 — sample-size sweep (dbpd ⊂ yago)", experiments.RenderSampleSize(points))
+	}
+	if has("e3") {
+		pca, cwa := experiments.ThresholdSweep(table1)
+		emit("E3 — threshold sweep (dbpd ⊂ yago)", experiments.RenderThresholdSweep(pca, cwa))
+	}
+	if has("e4") {
+		emit("E4 — query budget", experiments.RenderQueryBudget(experiments.QueryBudget(setup, table1)))
+	}
+	if has("e5") {
+		points, err := experiments.SameAsCoverage(setup, []float64{0.3, 0.5, 0.7, 0.9, 1.0})
+		check(err)
+		emit("E5 — sameAs coverage sensitivity (UBS, dbpd ⊂ yago)", experiments.RenderCoverage(points))
+	}
+	if has("e6") {
+		rows, err := experiments.UBSAblation(setup)
+		check(err)
+		emit("E6 — UBS strategy ablation", experiments.RenderAblation(rows))
+	}
+	if has("e7") {
+		emit("E7 — on-the-fly vs snapshot", experiments.RenderSnapshot(experiments.SnapshotComparison(setup, table1)))
+	}
+	fmt.Fprintf(os.Stderr, "# total time %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command kbgen generates the synthetic YAGO/DBpedia evaluation world
+// and writes it to disk: two N-Triples snapshots, the sameAs link file
+// consumed by cmd/sofya, and the gold-standard alignment pairs.
+//
+//	kbgen -spec paper -out ./world
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sofya/internal/synth"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "tiny", "world size: tiny | paper")
+		out      = flag.String("out", ".", "output directory")
+		seed     = flag.Int64("seed", 0, "override the spec's seed (0 keeps default)")
+	)
+	flag.Parse()
+
+	spec := synth.TinySpec()
+	if *specName == "paper" {
+		spec = synth.DefaultSpec()
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	w := synth.Generate(spec)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := w.Yago.WriteFile(filepath.Join(*out, "yago.nt")); err != nil {
+		fatal(err)
+	}
+	if err := w.Dbp.WriteFile(filepath.Join(*out, "dbpedia.nt")); err != nil {
+		fatal(err)
+	}
+	if err := writeLinks(w, filepath.Join(*out, "links.tsv")); err != nil {
+		fatal(err)
+	}
+	if err := writeTruth(w, filepath.Join(*out, "truth.tsv")); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: yago %d facts / %d relations, dbpedia %d facts / %d relations, %d links, %d gold pairs\n",
+		*out, w.Report.YagoFacts, len(w.Report.YagoRelations),
+		w.Report.DbpFacts, len(w.Report.DbpRelations),
+		w.Report.SameAsLinks, len(w.Truth.DbpToYago)+len(w.Truth.YagoToDbp))
+}
+
+func writeLinks(w *synth.World, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, p := range w.Links.Pairs() {
+		if _, err := fmt.Fprintf(f, "%s\t%s\n", p.A, p.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTruth(w *synth.World, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, p := range w.Truth.DbpToYago {
+		kind := "subsumed"
+		if p.Equivalent {
+			kind = "equivalent"
+		}
+		if _, err := fmt.Fprintf(f, "d2y\t%s\t%s\t%s\n", p.Body, p.Head, kind); err != nil {
+			return err
+		}
+	}
+	for _, p := range w.Truth.YagoToDbp {
+		kind := "subsumed"
+		if p.Equivalent {
+			kind = "equivalent"
+		}
+		if _, err := fmt.Fprintf(f, "y2d\t%s\t%s\t%s\n", p.Body, p.Head, kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kbgen:", err)
+	os.Exit(1)
+}

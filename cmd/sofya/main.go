@@ -1,0 +1,168 @@
+// Command sofya aligns relations between two knowledge bases reachable
+// through SPARQL endpoints, reproducing the paper's on-the-fly setting.
+//
+// Either generate the synthetic evaluation world:
+//
+//	sofya -synthetic tiny -relation http://yago-knowledge.org/resource/wasBornIn
+//
+// or load N-Triples snapshots plus a sameAs link file (two IRIs per
+// line, tab-separated, head-KB entity first):
+//
+//	sofya -k yago.nt -kprime dbpedia.nt -links links.tsv -relation <iri>
+//
+// With -all, every relation of the head KB is aligned.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sofya/internal/core"
+	"sofya/internal/endpoint"
+	"sofya/internal/kb"
+	"sofya/internal/sameas"
+	"sofya/internal/sampling"
+	"sofya/internal/synth"
+)
+
+func main() {
+	var (
+		synthetic = flag.String("synthetic", "", "generate a synthetic world: tiny | paper")
+		direction = flag.String("direction", "d2y", "synthetic direction: d2y (dbp⊂yago) | y2d")
+		kPath     = flag.String("k", "", "N-Triples file of the head-side KB K")
+		kpPath    = flag.String("kprime", "", "N-Triples file of the body-side KB K'")
+		linkPath  = flag.String("links", "", "sameAs links file: K-IRI<TAB>K'-IRI per line")
+		relation  = flag.String("relation", "", "relation IRI of K to align")
+		all       = flag.Bool("all", false, "align every relation of K")
+		method    = flag.String("method", "ubs", "method: pca | cwa | ubs")
+		samples   = flag.Int("samples", 10, "sample size (subject entities)")
+		verbose   = flag.Bool("v", false, "trace aligner decisions")
+		rejected  = flag.Bool("rejected", false, "also print rejected candidates")
+	)
+	flag.Parse()
+
+	cfg := methodConfig(*method)
+	cfg.SampleSize = *samples
+	if *verbose {
+		cfg.Trace = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	k, kp, links, err := loadKBs(*synthetic, *direction, *kPath, *kpPath, *linkPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sofya:", err)
+		os.Exit(1)
+	}
+
+	epK := endpoint.NewLocal(k, 1)
+	epKP := endpoint.NewLocal(kp, 2)
+	aligner := core.New(epK, epKP, links, cfg)
+
+	var heads []string
+	switch {
+	case *all:
+		for _, p := range k.Relations() {
+			heads = append(heads, k.Term(p).Value)
+		}
+	case *relation != "":
+		heads = []string{*relation}
+	default:
+		fmt.Fprintln(os.Stderr, "sofya: need -relation <iri> or -all")
+		os.Exit(2)
+	}
+
+	for _, head := range heads {
+		als, err := aligner.AlignRelation(head)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sofya:", err)
+			os.Exit(1)
+		}
+		for _, al := range als {
+			if !al.Accepted && !*rejected {
+				continue
+			}
+			status := "ACCEPT"
+			if !al.Accepted {
+				status = "reject"
+			}
+			equiv := ""
+			if al.Equivalent {
+				equiv = "  [equivalent]"
+			}
+			fmt.Printf("%s  %s  conf=%.2f pca=%.2f cwa=%.2f support=%d/%d contradictions=%d%s\n",
+				status, al.Rule, al.Confidence, al.PCA, al.CWA,
+				al.Support, al.Evidence, al.Contradictions, equiv)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "# queries: K=%d K'=%d rows: K=%d K'=%d\n",
+		epK.Stats().Queries, epKP.Stats().Queries, epK.Stats().Rows, epKP.Stats().Rows)
+}
+
+func methodConfig(method string) core.Config {
+	switch strings.ToLower(method) {
+	case "pca":
+		return core.DefaultConfig()
+	case "cwa":
+		return core.CWAConfig()
+	default:
+		return core.UBSConfig()
+	}
+}
+
+func loadKBs(synthetic, direction, kPath, kpPath, linkPath string) (*kb.KB, *kb.KB, sampling.Translator, error) {
+	if synthetic != "" {
+		spec := synth.TinySpec()
+		if synthetic == "paper" {
+			spec = synth.DefaultSpec()
+		}
+		w := synth.Generate(spec)
+		if direction == "y2d" {
+			return w.Dbp, w.Yago, sampling.LinkView{Links: w.Links, KIsA: false}, nil
+		}
+		return w.Yago, w.Dbp, sampling.LinkView{Links: w.Links, KIsA: true}, nil
+	}
+	if kPath == "" || kpPath == "" || linkPath == "" {
+		return nil, nil, nil, fmt.Errorf("need -k, -kprime and -links (or -synthetic)")
+	}
+	k, err := kb.LoadFile("K", kPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kp, err := kb.LoadFile("Kprime", kpPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	links, err := loadLinks(linkPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return k, kp, sampling.LinkView{Links: links, KIsA: true}, nil
+}
+
+func loadLinks(path string) (*sameas.Links, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	links := sameas.New()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s:%d: want two tab-separated IRIs", path, line)
+		}
+		links.Add(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]))
+	}
+	return links, sc.Err()
+}

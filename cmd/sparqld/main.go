@@ -1,0 +1,70 @@
+// Command sparqld serves a knowledge base over the SPARQL 1.1 HTTP
+// protocol, optionally with public-endpoint-style access restrictions —
+// the remote side of the paper's setting.
+//
+//	sparqld -kb yago.nt -addr :8890 -max-rows 10000
+//	sparqld -synthetic tiny -side dbp -addr :8890
+//
+// Query it with curl:
+//
+//	curl --data-urlencode 'query=SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5' http://localhost:8890/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/kb"
+	"sofya/internal/synth"
+)
+
+func main() {
+	var (
+		kbPath     = flag.String("kb", "", "N-Triples file to serve")
+		synthetic  = flag.String("synthetic", "", "serve a synthetic world instead: tiny | paper")
+		side       = flag.String("side", "yago", "synthetic side: yago | dbp")
+		addr       = flag.String("addr", ":8890", "listen address")
+		maxQueries = flag.Int("max-queries", 0, "session query budget (0 = unlimited)")
+		maxRows    = flag.Int("max-rows", 10000, "row cap per SELECT (0 = unlimited)")
+		seed       = flag.Int64("seed", 1, "RAND() seed")
+	)
+	flag.Parse()
+
+	var (
+		base *kb.KB
+		err  error
+	)
+	switch {
+	case *synthetic != "":
+		spec := synth.TinySpec()
+		if *synthetic == "paper" {
+			spec = synth.DefaultSpec()
+		}
+		w := synth.Generate(spec)
+		base = w.Yago
+		if *side == "dbp" {
+			base = w.Dbp
+		}
+	case *kbPath != "":
+		base, err = kb.LoadFile("kb", *kbPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparqld:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "sparqld: need -kb <file> or -synthetic tiny|paper")
+		os.Exit(2)
+	}
+
+	local := endpoint.NewLocalRestricted(base, *seed, endpoint.Quota{
+		MaxQueries: *maxQueries,
+		MaxRows:    *maxRows,
+	})
+	log.Printf("sparqld: serving %q (%d facts, %d relations) on %s",
+		base.Name(), base.Size(), len(base.Relations()), *addr)
+	log.Fatal(http.ListenAndServe(*addr, endpoint.NewServer(local)))
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/ilp"
+	"sofya/internal/sampling"
+)
+
+// Alignment is the aligner's verdict on one candidate rule r' ⇒ r.
+type Alignment struct {
+	// Rule is the subsumption hypothesis (body in K', head in K).
+	Rule ilp.Rule
+	// Accepted reports whether the rule passed threshold, support and
+	// UBS pruning.
+	Accepted bool
+	// Confidence is the configured measure's value; PCA and CWA carry
+	// both measures for inspection.
+	Confidence float64
+	PCA, CWA   float64
+	// Support and Evidence are the confirming pairs and the total
+	// sampled pairs.
+	Support, Evidence int
+	// DiscoveryHits is how many discovery pairs the candidate
+	// co-occurred with.
+	DiscoveryHits int
+	// Contradictions counts UBS counter-examples against this rule
+	// across all sibling pairs; UBSRows counts the overlap rows
+	// inspected with this rule as the prune target. Pruning is decided
+	// per sibling pair (see PrunedByUBS); the totals are reported for
+	// inspection.
+	Contradictions int
+	UBSRows        int
+	// PrunedByUBS records that some sibling pair produced at least
+	// Config.MinContradictions counter-examples covering at least
+	// Config.UBSContradictionRatio of that pair's rows.
+	PrunedByUBS bool
+	// ReverseContradictions counts UBS counter-examples against the
+	// reverse rule r ⇒ r' out of ReverseUBSRows inspected;
+	// ReverseRefuted is the per-pair demotion verdict.
+	ReverseContradictions int
+	ReverseUBSRows        int
+	ReverseRefuted        bool
+	// Equivalent reports that the reverse rule was also validated
+	// (only meaningful when Config.CheckEquivalence is set).
+	Equivalent bool
+	// ReverseConfidence is the reverse rule's confidence when
+	// CheckEquivalence ran.
+	ReverseConfidence float64
+}
+
+// Aligner aligns relations of a source KB K against a target KB K'.
+// It is deterministic for fixed endpoint seeds.
+type Aligner struct {
+	cfg Config
+	val *sampling.Validator
+	// names label the KBs in emitted rules.
+	kName, kPrimeName string
+}
+
+// New builds an aligner from the head-side endpoint k (the KB whose
+// relation arrives in a query), the body-side endpoint kprime (the KB
+// to align against), and the sameAs translator between them.
+func New(k, kprime endpoint.Endpoint, links sampling.Translator, cfg Config) *Aligner {
+	cfg = cfg.normalized()
+	return &Aligner{
+		cfg: cfg,
+		val: &sampling.Validator{
+			K:           k,
+			KPrime:      kprime,
+			Links:       links,
+			Matcher:     cfg.Matcher,
+			FetchWindow: cfg.FetchWindow,
+		},
+		kName:      k.Name(),
+		kPrimeName: kprime.Name(),
+	}
+}
+
+// Config returns the aligner's (normalized) configuration.
+func (a *Aligner) Config() Config { return a.cfg }
+
+func (a *Aligner) tracef(format string, args ...any) {
+	if a.cfg.Trace != nil {
+		a.cfg.Trace(format, args...)
+	}
+}
+
+// candidate tracks one discovered relation during alignment.
+type candidate struct {
+	rel  string
+	hits int
+	ev   *ilp.Evidence
+	set  *sampling.SampleSet
+}
+
+// AlignRelation finds relations r' of K' with r'(x,y) ⇒ r(x,y), for r a
+// relation IRI of K. It returns every validated candidate (accepted or
+// not), ordered by decreasing confidence.
+func (a *Aligner) AlignRelation(r string) ([]Alignment, error) {
+	cands, err := a.discover(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cands {
+		ev, set, err := a.val.SimpleEvidence(c.rel, r, a.cfg.SampleSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: validating %s ⇒ %s: %w", c.rel, r, err)
+		}
+		c.ev, c.set = ev, set
+	}
+
+	out := make([]Alignment, 0, len(cands))
+	aligns := make(map[string]*Alignment, len(cands))
+	for _, c := range cands {
+		al := Alignment{
+			Rule: ilp.Rule{
+				BodyKB: a.kPrimeName, HeadKB: a.kName,
+				Body: c.rel, Head: r,
+			},
+			PCA:           c.ev.PCAConf(),
+			CWA:           c.ev.CWAConf(),
+			Support:       c.ev.Support(),
+			Evidence:      c.ev.Total(),
+			DiscoveryHits: c.hits,
+		}
+		al.Confidence = a.cfg.Measure.Conf(c.ev)
+		al.Accepted = al.Confidence >= a.cfg.Threshold && al.Support >= a.cfg.MinSupport
+		out = append(out, al)
+		aligns[c.rel] = &out[len(out)-1]
+	}
+
+	if a.cfg.UseUBS {
+		if err := a.applyUBS(r, cands, aligns); err != nil {
+			return nil, err
+		}
+	}
+	if a.cfg.CheckEquivalence {
+		if err := a.checkEquivalences(r, out); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Accepted != out[j].Accepted {
+			return out[i].Accepted
+		}
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Rule.Body < out[j].Rule.Body
+	})
+	return out, nil
+}
+
+// discover samples r-facts from K, translates them into K', and
+// collects candidate predicates by co-occurrence.
+func (a *Aligner) discover(r string) ([]*candidate, error) {
+	window := a.cfg.FetchWindow
+	if window <= 0 {
+		window = 40 * a.cfg.DiscoverySize
+		if window < 200 {
+			window = 200
+		}
+	}
+	q := fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d", r, window)
+	res, err := a.val.K.Select(q)
+	if err != nil {
+		return nil, fmt.Errorf("core: discovery sample for <%s>: %w", r, err)
+	}
+	hits := map[string]int{}
+	used := 0
+	for _, row := range res.Rows {
+		if used >= a.cfg.DiscoverySize {
+			break
+		}
+		x, y := row[0], row[1]
+		if !x.IsIRI() {
+			continue
+		}
+		xp, ok := a.val.Links.FromK(x.Value)
+		if !ok {
+			continue
+		}
+		switch {
+		case y.IsIRI():
+			yp, ok := a.val.Links.FromK(y.Value)
+			if !ok {
+				continue
+			}
+			used++
+			pq := fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", xp, yp)
+			pres, err := a.val.KPrime.Select(pq)
+			if err != nil {
+				return nil, err
+			}
+			for _, prow := range pres.Rows {
+				if prow[0].IsIRI() {
+					hits[prow[0].Value]++
+				}
+			}
+		case y.IsLiteral():
+			if a.cfg.Matcher == nil {
+				continue
+			}
+			used++
+			pq := fmt.Sprintf("SELECT ?p ?v WHERE { <%s> ?p ?v . FILTER ISLITERAL(?v) }", xp)
+			pres, err := a.val.KPrime.Select(pq)
+			if err != nil {
+				return nil, err
+			}
+			for _, prow := range pres.Rows {
+				if !prow[0].IsIRI() {
+					continue
+				}
+				if ok, _ := a.cfg.Matcher.Match(y, prow[1]); ok {
+					hits[prow[0].Value]++
+				}
+			}
+		}
+	}
+	cands := make([]*candidate, 0, len(hits))
+	for rel, h := range hits {
+		cands = append(cands, &candidate{rel: rel, hits: h})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hits != cands[j].hits {
+			return cands[i].hits > cands[j].hits
+		}
+		return cands[i].rel < cands[j].rel
+	})
+	if len(cands) > a.cfg.MaxCandidates {
+		cands = cands[:a.cfg.MaxCandidates]
+	}
+	return cands, nil
+}
+
+// applyUBS runs both contradiction-search strategies and prunes.
+func (a *Aligner) applyUBS(r string, cands []*candidate, aligns map[string]*Alignment) error {
+	// provisional = accepted so far (confidence+support); only those
+	// are worth the extra queries.
+	var provisional []*candidate
+	for _, c := range cands {
+		if aligns[c.rel].Accepted && a.entityCandidate(c) {
+			provisional = append(provisional, c)
+		}
+	}
+
+	if a.cfg.UBSBodySiblings {
+		for i := 0; i < len(provisional); i++ {
+			for j := 0; j < len(provisional); j++ {
+				if i == j {
+					continue
+				}
+				rA, rB := provisional[i].rel, provisional[j].rel
+				res, err := a.val.Contradictions(sampling.BodySide, rA, rB, r, a.cfg.UBSSampleSize)
+				if err != nil {
+					return err
+				}
+				// rows refute rB ⇒ r (subsumption) and r ⇒ rA (reverse)
+				aligns[rB].Contradictions += res.CounterSubsumption()
+				aligns[rB].UBSRows += len(res.Rows)
+				if a.pairRefutes(res.CounterSubsumption(), len(res.Rows)) {
+					aligns[rB].PrunedByUBS = true
+					a.tracef("UBS body-pair (%s, %s) refutes %s ⇒ %s: %d/%d rows",
+						rA, rB, rB, r, res.CounterSubsumption(), len(res.Rows))
+				}
+				aligns[rA].ReverseContradictions += res.CounterReverse()
+				aligns[rA].ReverseUBSRows += len(res.Rows)
+				if a.pairRefutes(res.CounterReverse(), len(res.Rows)) {
+					aligns[rA].ReverseRefuted = true
+				}
+			}
+		}
+	}
+
+	if a.cfg.UBSHeadSiblings {
+		for _, c := range provisional {
+			siblings, err := a.headSiblings(r, c)
+			if err != nil {
+				return err
+			}
+			for _, z := range siblings {
+				res, err := a.val.Contradictions(sampling.HeadSide, r, z, c.rel, a.cfg.UBSSampleSize)
+				if err != nil {
+					return err
+				}
+				// rows with check(x,y2) refute c.rel ⇒ r
+				aligns[c.rel].Contradictions += res.CounterReverse()
+				aligns[c.rel].UBSRows += len(res.Rows)
+				if a.pairRefutes(res.CounterReverse(), len(res.Rows)) {
+					aligns[c.rel].PrunedByUBS = true
+					a.tracef("UBS head-pair (%s, %s) refutes %s ⇒ %s: %d/%d rows",
+						r, z, c.rel, r, res.CounterReverse(), len(res.Rows))
+				}
+			}
+		}
+	}
+
+	for _, c := range cands {
+		if aligns[c.rel].PrunedByUBS {
+			aligns[c.rel].Accepted = false
+		}
+	}
+	return nil
+}
+
+// pairRefutes applies the contradiction gate to one sibling pair's
+// result: an absolute minimum of counter-examples plus a minimum
+// fraction of the pair's inspected rows (residual cross-KB value noise
+// produces isolated counter-examples even for true rules, because the
+// overlap query adversely selects disagreement).
+func (a *Aligner) pairRefutes(contradictions, rows int) bool {
+	if contradictions < a.cfg.MinContradictions {
+		return false
+	}
+	return float64(contradictions) >= a.cfg.UBSContradictionRatio*float64(rows)
+}
+
+// entityCandidate reports whether the candidate's sampled objects are
+// entities (UBS applies only to entity-entity relations).
+func (a *Aligner) entityCandidate(c *candidate) bool {
+	if c.set == nil || len(c.set.Facts) == 0 {
+		return false
+	}
+	return c.set.Facts[0].Y.IsIRI()
+}
+
+// headSiblings discovers relations z of K (z ≠ r) that also cover the
+// candidate's translated sample pairs — the sibling set for the
+// mirrored UBS strategy.
+func (a *Aligner) headSiblings(r string, c *candidate) ([]string, error) {
+	counts := map[string]int{}
+	checked := 0
+	for _, f := range c.set.Facts {
+		if checked >= a.cfg.UBSSampleSize {
+			break
+		}
+		if !f.Y.IsIRI() {
+			continue
+		}
+		checked++
+		q := fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", f.X, f.Y.Value)
+		res, err := a.val.K.Select(q)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			if row[0].IsIRI() && row[0].Value != r {
+				counts[row[0].Value]++
+			}
+		}
+	}
+	type sib struct {
+		rel string
+		n   int
+	}
+	sibs := make([]sib, 0, len(counts))
+	for rel, n := range counts {
+		sibs = append(sibs, sib{rel, n})
+	}
+	sort.Slice(sibs, func(i, j int) bool {
+		if sibs[i].n != sibs[j].n {
+			return sibs[i].n > sibs[j].n
+		}
+		return sibs[i].rel < sibs[j].rel
+	})
+	if len(sibs) > a.cfg.UBSMaxSiblings {
+		sibs = sibs[:a.cfg.UBSMaxSiblings]
+	}
+	out := make([]string, len(sibs))
+	for i, s := range sibs {
+		out[i] = s.rel
+	}
+	return out, nil
+}
+
+// checkEquivalences validates the reverse rule r ⇒ r' for accepted
+// alignments through a flipped validator (roles of K and K' swapped).
+func (a *Aligner) checkEquivalences(r string, out []Alignment) error {
+	flipped := &sampling.Validator{
+		K:           a.val.KPrime,
+		KPrime:      a.val.K,
+		Links:       flipTranslator{a.val.Links},
+		Matcher:     a.cfg.Matcher,
+		FetchWindow: a.cfg.FetchWindow,
+	}
+	for i := range out {
+		al := &out[i]
+		if !al.Accepted {
+			continue
+		}
+		ev, _, err := flipped.SimpleEvidence(r, al.Rule.Body, a.cfg.SampleSize)
+		if err != nil {
+			return err
+		}
+		al.ReverseConfidence = a.cfg.Measure.Conf(ev)
+		al.Equivalent = al.ReverseConfidence >= a.cfg.Threshold &&
+			ev.Support() >= a.cfg.MinSupport &&
+			!al.ReverseRefuted
+	}
+	return nil
+}
+
+// flipTranslator swaps the directions of a Translator.
+type flipTranslator struct{ t sampling.Translator }
+
+func (f flipTranslator) ToK(x string) (string, bool)   { return f.t.FromK(x) }
+func (f flipTranslator) FromK(x string) (string, bool) { return f.t.ToK(x) }
+
+// Accepted filters alignments down to the accepted ones.
+func Accepted(all []Alignment) []Alignment {
+	out := make([]Alignment, 0, len(all))
+	for _, al := range all {
+		if al.Accepted {
+			out = append(out, al)
+		}
+	}
+	return out
+}
+

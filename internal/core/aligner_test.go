@@ -1,0 +1,344 @@
+package core
+
+import (
+	"testing"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/ilp"
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+	"sofya/internal/sameas"
+	"sofya/internal/sampling"
+)
+
+const (
+	yNS = "http://y/"
+	dNS = "http://d/"
+)
+
+// paperWorld mirrors the §2.2 examples (same construction as the
+// sampling tests, kept locally to avoid exporting test helpers):
+// creatorOf ⊐ {composerOf, writerOf}; directedBy ≡ hasDirector with
+// hasProducer as a correlated confounder; bornYear ≡ birthDate
+// (literals). Scaled up enough that 10-subject samples behave.
+func paperWorld() (*kb.KB, *kb.KB, *sameas.Links) {
+	y := kb.New("yago")
+	d := kb.New("dbpedia")
+	links := sameas.New()
+	link := func(name string) { links.Add(yNS+name, dNS+name) }
+	addBoth := func(yRel, dRel, s, o string) {
+		y.AddIRIs(yNS+s, yNS+yRel, yNS+o)
+		d.AddIRIs(dNS+s, dNS+dRel, dNS+o)
+	}
+	num := func(i int) string { return string(rune('a'+i/10)) + string(rune('0'+i%10)) }
+
+	for i := 0; i < 30; i++ {
+		n := num(i)
+		link("comp" + n)
+		link("book" + n)
+		link("movie" + n)
+		link("dirP" + n)
+		link("prodP" + n)
+		link("c" + n)
+		link("w" + n)
+		link("poly" + n)
+	}
+	for i := 0; i < 25; i++ {
+		n := num(i)
+		addBoth("creatorOf", "composerOf", "c"+n, "comp"+n)
+		addBoth("creatorOf", "writerOf", "w"+n, "book"+n)
+	}
+	// five polymaths: overlap subjects for UBS
+	for i := 25; i < 30; i++ {
+		n := num(i)
+		addBoth("creatorOf", "composerOf", "poly"+n, "comp"+n)
+		addBoth("creatorOf", "writerOf", "poly"+n, "book"+n)
+	}
+	// movies: director always; producer == director for 70%
+	for i := 0; i < 30; i++ {
+		n := num(i)
+		addBoth("directedBy", "hasDirector", "movie"+n, "dirP"+n)
+		if i%10 < 7 {
+			addBoth("producedBy", "hasProducer", "movie"+n, "dirP"+n)
+		} else {
+			addBoth("producedBy", "hasProducer", "movie"+n, "prodP"+n)
+		}
+	}
+	// literals
+	for i := 0; i < 25; i++ {
+		n := num(i)
+		year := 1900 + i
+		y.Add(rdf.NewTriple(rdf.NewIRI(yNS+"c"+n), rdf.NewIRI(yNS+"bornYear"),
+			rdf.NewTypedLiteral(itoa(year), rdf.XSDGYear)))
+		d.Add(rdf.NewTriple(rdf.NewIRI(dNS+"c"+n), rdf.NewIRI(dNS+"birthDate"),
+			rdf.NewTypedLiteral(itoa(year)+"-03-04", rdf.XSDDate)))
+	}
+	return y, d, links
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// alignerD2Y aligns DBpedia bodies against YAGO heads (K = yago).
+func alignerD2Y(cfg Config) *Aligner {
+	y, d, links := paperWorld()
+	return New(
+		endpoint.NewLocal(y, 3),
+		endpoint.NewLocal(d, 4),
+		sampling.LinkView{Links: links, KIsA: true},
+		cfg)
+}
+
+// alignerY2D aligns YAGO bodies against DBpedia heads (K = dbpedia).
+func alignerY2D(cfg Config) *Aligner {
+	y, d, links := paperWorld()
+	return New(
+		endpoint.NewLocal(d, 5),
+		endpoint.NewLocal(y, 6),
+		sampling.LinkView{Links: links, KIsA: false},
+		cfg)
+}
+
+func find(als []Alignment, body string) *Alignment {
+	for i := range als {
+		if als[i].Rule.Body == body {
+			return &als[i]
+		}
+	}
+	return nil
+}
+
+func TestAlignCreatorOfFindsSpecializations(t *testing.T) {
+	a := alignerD2Y(DefaultConfig())
+	als, err := a.AlignRelation(yNS + "creatorOf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := find(als, dNS+"composerOf")
+	wr := find(als, dNS+"writerOf")
+	if comp == nil || wr == nil {
+		t.Fatalf("candidates missing: %+v", als)
+	}
+	if !comp.Accepted || !wr.Accepted {
+		t.Fatalf("true subsumptions rejected: comp=%+v wr=%+v", comp, wr)
+	}
+	if comp.Confidence != 1 || wr.Confidence != 1 {
+		t.Fatalf("confidences: %f, %f", comp.Confidence, wr.Confidence)
+	}
+	if comp.Rule.String() == "" || comp.Rule.HeadKB != "yago" || comp.Rule.BodyKB != "dbpedia" {
+		t.Fatalf("rule labels wrong: %+v", comp.Rule)
+	}
+}
+
+func TestAlignDirectedByBaselineAcceptsConfounder(t *testing.T) {
+	a := alignerD2Y(DefaultConfig())
+	als, err := a.AlignRelation(yNS + "directedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := find(als, dNS+"hasDirector")
+	prod := find(als, dNS+"hasProducer")
+	if dir == nil || !dir.Accepted {
+		t.Fatalf("hasDirector should be accepted: %+v", dir)
+	}
+	if prod == nil {
+		t.Skip("confounder not discovered in this sample")
+	}
+	if !prod.Accepted {
+		t.Fatalf("baseline should accept the correlated confounder (pca ≈ 0.7): %+v", prod)
+	}
+}
+
+func TestAlignDirectedByUBSPrunesConfounder(t *testing.T) {
+	a := alignerD2Y(UBSConfig())
+	als, err := a.AlignRelation(yNS + "directedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := find(als, dNS+"hasDirector")
+	prod := find(als, dNS+"hasProducer")
+	if dir == nil || !dir.Accepted {
+		t.Fatalf("hasDirector should stay accepted: %+v", dir)
+	}
+	if prod != nil && prod.Accepted {
+		t.Fatalf("UBS failed to prune hasProducer ⇒ directedBy: %+v", prod)
+	}
+	if prod != nil && prod.Contradictions == 0 {
+		t.Fatalf("pruned without recorded contradictions: %+v", prod)
+	}
+}
+
+func TestAlignUBSDemotesEquivalenceForSpecialization(t *testing.T) {
+	a := alignerD2Y(UBSConfig())
+	als, err := a.AlignRelation(yNS + "creatorOf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := find(als, dNS+"composerOf")
+	if comp == nil || !comp.Accepted {
+		t.Fatalf("composerOf ⇒ creatorOf should be accepted: %+v", comp)
+	}
+	if comp.Equivalent {
+		t.Fatalf("creatorOf ⇔ composerOf must be demoted to subsumption: %+v", comp)
+	}
+	if comp.ReverseContradictions == 0 {
+		t.Fatalf("no reverse contradictions recorded: %+v", comp)
+	}
+}
+
+func TestAlignEquivalenceConfirmedForTrueEquivalence(t *testing.T) {
+	cfg := UBSConfig()
+	a := alignerD2Y(cfg)
+	als, err := a.AlignRelation(yNS + "directedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := find(als, dNS+"hasDirector")
+	if dir == nil || !dir.Accepted {
+		t.Fatalf("hasDirector missing: %+v", dir)
+	}
+	if !dir.Equivalent {
+		t.Fatalf("directedBy ⇔ hasDirector should be equivalent: %+v", dir)
+	}
+}
+
+func TestAlignReverseDirectionUBSPrunesBroaderBody(t *testing.T) {
+	// Direction yago ⊂ dbpd, head = composerOf: the only candidate body
+	// is creatorOf, which is broader. Baseline accepts it (pca ≈ 0.9);
+	// UBS head-sibling sampling must prune it.
+	base := alignerY2D(DefaultConfig())
+	als, err := base.AlignRelation(dNS + "composerOf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := find(als, yNS+"creatorOf")
+	if cr == nil || !cr.Accepted {
+		t.Fatalf("baseline should accept creatorOf ⇒ composerOf: %+v", cr)
+	}
+
+	ubs := alignerY2D(UBSConfig())
+	als, err = ubs.AlignRelation(dNS + "composerOf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr = find(als, yNS+"creatorOf")
+	if cr == nil {
+		t.Fatal("candidate vanished under UBS")
+	}
+	if cr.Accepted {
+		t.Fatalf("UBS failed to prune creatorOf ⇒ composerOf: %+v", cr)
+	}
+}
+
+func TestAlignLiteralRelation(t *testing.T) {
+	a := alignerD2Y(DefaultConfig())
+	als, err := a.AlignRelation(yNS + "bornYear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := find(als, dNS+"birthDate")
+	if bd == nil || !bd.Accepted {
+		t.Fatalf("birthDate ⇒ bornYear not aligned: %+v", als)
+	}
+}
+
+func TestAlignUnknownRelation(t *testing.T) {
+	a := alignerD2Y(DefaultConfig())
+	als, err := a.AlignRelation(yNS + "neverSeen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(als) != 0 {
+		t.Fatalf("alignments for unknown relation: %+v", als)
+	}
+}
+
+func TestAlignDeterministic(t *testing.T) {
+	r1, err := alignerD2Y(UBSConfig()).AlignRelation(yNS + "directedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := alignerD2Y(UBSConfig()).AlignRelation(yNS + "directedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Rule != r2[i].Rule || r1[i].Accepted != r2[i].Accepted ||
+			r1[i].Confidence != r2[i].Confidence {
+			t.Fatalf("run %d differs: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestAlignMinSupport(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinSupport = 100 // unreachable
+	a := alignerD2Y(cfg)
+	als, err := a.AlignRelation(yNS + "directedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, al := range als {
+		if al.Accepted {
+			t.Fatalf("accepted despite impossible support: %+v", al)
+		}
+	}
+}
+
+func TestAcceptedFilter(t *testing.T) {
+	all := []Alignment{
+		{Accepted: true, Rule: ilp.Rule{Body: "a"}},
+		{Accepted: false, Rule: ilp.Rule{Body: "b"}},
+		{Accepted: true, Rule: ilp.Rule{Body: "c"}},
+	}
+	got := Accepted(all)
+	if len(got) != 2 || got[0].Rule.Body != "a" || got[1].Rule.Body != "c" {
+		t.Fatalf("Accepted = %+v", got)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.normalized()
+	if c.SampleSize != 10 || c.DiscoverySize != 10 || c.MaxCandidates != 16 ||
+		c.MinSupport != 1 || c.MinContradictions != 1 {
+		t.Fatalf("normalized = %+v", c)
+	}
+	c2 := Config{SampleSize: 5}.normalized()
+	if c2.DiscoverySize != 5 || c2.UBSSampleSize != 5 {
+		t.Fatalf("normalized = %+v", c2)
+	}
+}
+
+func TestAlignerQueryCounts(t *testing.T) {
+	y, d, links := paperWorld()
+	ky := endpoint.NewLocal(y, 3)
+	kd := endpoint.NewLocal(d, 4)
+	a := New(ky, kd, sampling.LinkView{Links: links, KIsA: true}, DefaultConfig())
+	if _, err := a.AlignRelation(yNS + "directedBy"); err != nil {
+		t.Fatal(err)
+	}
+	kq, dq := ky.Stats().Queries, kd.Stats().Queries
+	if kq == 0 || dq == 0 {
+		t.Fatalf("no queries recorded: K=%d K'=%d", kq, dq)
+	}
+	// "works with few queries": discovery (1 + ≤10) on each side plus
+	// ≤ candidates × (1 + 10) validations — two orders below dataset
+	// size.
+	if kq > 60 || dq > 60 {
+		t.Fatalf("too many queries for one alignment: K=%d K'=%d", kq, dq)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import "sync"
+
+// Cache memoizes AlignRelation results so that repeated queries over
+// the same relation — the common case at query time — pay the sampling
+// cost once per session. It is safe for concurrent use.
+type Cache struct {
+	aligner *Aligner
+
+	mu      sync.Mutex
+	results map[string]cached
+}
+
+type cached struct {
+	als []Alignment
+	err error
+}
+
+// NewCache wraps an aligner with memoization.
+func NewCache(a *Aligner) *Cache {
+	return &Cache{aligner: a, results: make(map[string]cached)}
+}
+
+// AlignRelation returns the memoized alignment for r, computing it on
+// first use. Errors are cached too: a failing endpoint will not be
+// hammered by retries within a session; call Invalidate to retry.
+func (c *Cache) AlignRelation(r string) ([]Alignment, error) {
+	c.mu.Lock()
+	if got, ok := c.results[r]; ok {
+		c.mu.Unlock()
+		return got.als, got.err
+	}
+	c.mu.Unlock()
+
+	als, err := c.aligner.AlignRelation(r)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// a concurrent caller may have stored meanwhile; keep the first
+	// result for determinism.
+	if got, ok := c.results[r]; ok {
+		return got.als, got.err
+	}
+	c.results[r] = cached{als: als, err: err}
+	return als, err
+}
+
+// Invalidate drops the cached result for r (all relations when r is
+// empty).
+func (c *Cache) Invalidate(r string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r == "" {
+		c.results = make(map[string]cached)
+		return
+	}
+	delete(c.results, r)
+}
+
+// Len reports how many relations are cached.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/sampling"
+)
+
+func TestCacheMemoizes(t *testing.T) {
+	y, d, links := paperWorld()
+	ky := endpoint.NewLocal(y, 3)
+	kd := endpoint.NewLocal(d, 4)
+	a := New(ky, kd, sampling.LinkView{Links: links, KIsA: true}, DefaultConfig())
+	c := NewCache(a)
+
+	first, err := c.AlignRelation(yNS + "directedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queriesAfterFirst := ky.Stats().Queries + kd.Stats().Queries
+
+	second, err := c.AlignRelation(yNS + "directedBy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ky.Stats().Queries+kd.Stats().Queries != queriesAfterFirst {
+		t.Fatal("cached call issued queries")
+	}
+	if len(first) != len(second) {
+		t.Fatal("cached result differs")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+
+	c.Invalidate(yNS + "directedBy")
+	if c.Len() != 0 {
+		t.Fatal("Invalidate did not drop entry")
+	}
+	if _, err := c.AlignRelation(yNS + "directedBy"); err != nil {
+		t.Fatal(err)
+	}
+	if ky.Stats().Queries+kd.Stats().Queries == queriesAfterFirst {
+		t.Fatal("recompute after Invalidate issued no queries")
+	}
+
+	c.AlignRelation(yNS + "creatorOf")
+	c.Invalidate("")
+	if c.Len() != 0 {
+		t.Fatal("Invalidate all failed")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	y, d, links := paperWorld()
+	a := New(endpoint.NewLocal(y, 3), endpoint.NewLocal(d, 4),
+		sampling.LinkView{Links: links, KIsA: true}, DefaultConfig())
+	c := NewCache(a)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := c.AlignRelation(yNS + "directedBy"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	y, d, links := paperWorld()
+	// a one-query budget: first alignment exhausts it mid-flight
+	ky := endpoint.NewLocalRestricted(y, 3, endpoint.Quota{MaxQueries: 1})
+	kd := endpoint.NewLocal(d, 4)
+	a := New(ky, kd, sampling.LinkView{Links: links, KIsA: true}, DefaultConfig())
+	c := NewCache(a)
+	_, err1 := c.AlignRelation(yNS + "directedBy")
+	if err1 == nil {
+		t.Fatal("expected quota error")
+	}
+	denied := ky.Stats().Denied
+	_, err2 := c.AlignRelation(yNS + "directedBy")
+	if err2 == nil {
+		t.Fatal("cached error lost")
+	}
+	if ky.Stats().Denied != denied {
+		t.Fatal("cached error call hit the endpoint again")
+	}
+}

@@ -1,0 +1,190 @@
+// Package endpoint provides the only gateway SOFYA uses to reach a
+// knowledge base: a SPARQL endpoint. It deliberately mirrors the access
+// model of public Linked Open Data endpoints, which the paper's
+// introduction motivates — you may pose queries, but you may not
+// download the dataset:
+//
+//   - Local wraps an in-process sparql.Engine and enforces an access
+//     Quota: a per-session query budget, a per-query row cap (public
+//     DBpedia truncates at 10 000 rows), and optional simulated latency.
+//   - Server / Client speak the SPARQL 1.1 protocol over HTTP with
+//     application/sparql-results+json bodies, so the alignment pipeline
+//     can run against a genuinely remote KB.
+//
+// All endpoints record Stats, which the experiments use to report the
+// number of queries and rows each alignment consumed (experiment E4).
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sofya/internal/kb"
+	"sofya/internal/sparql"
+)
+
+// ErrQuotaExceeded is returned once a session's query budget is spent.
+var ErrQuotaExceeded = errors.New("endpoint: query quota exceeded")
+
+// Endpoint is a queryable SPARQL service.
+type Endpoint interface {
+	// Name identifies the dataset behind the endpoint.
+	Name() string
+	// Select runs a SELECT query and returns its bindings. The result
+	// may be truncated (Result.Truncated) by a row cap.
+	Select(query string) (*sparql.Result, error)
+	// Ask runs an ASK query.
+	Ask(query string) (bool, error)
+}
+
+// StatsReporter is implemented by endpoints that track access statistics.
+type StatsReporter interface {
+	Stats() Stats
+	ResetStats()
+}
+
+// Quota models the access restrictions of a public SPARQL endpoint.
+// The zero value means unrestricted.
+type Quota struct {
+	// MaxQueries is the total number of queries a session may issue;
+	// 0 means unlimited. Exceeding it returns ErrQuotaExceeded.
+	MaxQueries int
+	// MaxRows caps the rows returned per SELECT; 0 means unlimited.
+	// Truncation is flagged on the result, like a public endpoint's
+	// silent result cap.
+	MaxRows int
+	// Latency is added to every query, simulating network round trips.
+	Latency time.Duration
+}
+
+// Stats counts endpoint usage.
+type Stats struct {
+	// Queries is the number of queries accepted (SELECT + ASK).
+	Queries int
+	// Rows is the total number of rows returned across SELECTs.
+	Rows int
+	// Truncations counts SELECTs cut short by the row cap.
+	Truncations int
+	// Denied counts queries rejected by the quota.
+	Denied int
+}
+
+// Local is an Endpoint over an in-process KB.
+type Local struct {
+	name   string
+	engine *sparql.Engine
+	quota  Quota
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewLocal builds an unrestricted endpoint over k with a deterministic
+// RAND() seed.
+func NewLocal(k *kb.KB, seed int64) *Local {
+	return &Local{name: k.Name(), engine: sparql.NewEngineSeeded(k, seed)}
+}
+
+// NewLocalRestricted builds an endpoint over k with an access quota.
+func NewLocalRestricted(k *kb.KB, seed int64, q Quota) *Local {
+	return &Local{name: k.Name(), engine: sparql.NewEngineSeeded(k, seed), quota: q}
+}
+
+// Name implements Endpoint.
+func (l *Local) Name() string { return l.name }
+
+// KB exposes the underlying KB for tools that legitimately own the data
+// (the snapshot baseline, the generator); the aligner must not use it.
+func (l *Local) KB() *kb.KB { return l.engine.KB() }
+
+// SetQuota replaces the endpoint's quota (counters keep running).
+func (l *Local) SetQuota(q Quota) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.quota = q
+}
+
+// Stats implements StatsReporter.
+func (l *Local) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// ResetStats implements StatsReporter.
+func (l *Local) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats = Stats{}
+}
+
+// admit charges one query against the quota.
+func (l *Local) admit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.quota.MaxQueries > 0 && l.stats.Queries >= l.quota.MaxQueries {
+		l.stats.Denied++
+		return ErrQuotaExceeded
+	}
+	l.stats.Queries++
+	return nil
+}
+
+// Select implements Endpoint.
+func (l *Local) Select(query string) (*sparql.Result, error) {
+	if err := l.admit(); err != nil {
+		return nil, err
+	}
+	if l.quota.Latency > 0 {
+		time.Sleep(l.quota.Latency)
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != sparql.SelectForm {
+		return nil, fmt.Errorf("endpoint: Select needs a SELECT query")
+	}
+	res, err := l.engine.Eval(q)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if l.quota.MaxRows > 0 && len(res.Rows) > l.quota.MaxRows {
+		res.Rows = res.Rows[:l.quota.MaxRows]
+		res.Truncated = true
+		l.stats.Truncations++
+	}
+	l.stats.Rows += len(res.Rows)
+	l.mu.Unlock()
+	return res, nil
+}
+
+// Ask implements Endpoint.
+func (l *Local) Ask(query string) (bool, error) {
+	if err := l.admit(); err != nil {
+		return false, err
+	}
+	if l.quota.Latency > 0 {
+		time.Sleep(l.quota.Latency)
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return false, err
+	}
+	if q.Form != sparql.AskForm {
+		return false, fmt.Errorf("endpoint: Ask needs an ASK query")
+	}
+	res, err := l.engine.Eval(q)
+	if err != nil {
+		return false, err
+	}
+	return res.Ask, nil
+}
+
+var (
+	_ Endpoint      = (*Local)(nil)
+	_ StatsReporter = (*Local)(nil)
+)

@@ -1,0 +1,162 @@
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"sofya/internal/sparql"
+)
+
+// ResultsContentType is the media type of the SPARQL results JSON format.
+const ResultsContentType = "application/sparql-results+json"
+
+// Server exposes a Local endpoint over the SPARQL 1.1 protocol:
+// GET  /sparql?query=...          (query in the URL)
+// POST /sparql with form field "query" or a raw application/sparql-query
+// body.
+type Server struct {
+	local *Local
+}
+
+// NewServer wraps a Local endpoint for HTTP serving.
+func NewServer(local *Local) *Server { return &Server{local: local} }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	query, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var body []byte
+	switch q.Form {
+	case sparql.AskForm:
+		ok, err := s.local.Ask(query)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		body, err = MarshalAsk(ok)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	default:
+		res, err := s.local.Select(query)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		body, err = MarshalSelect(res)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", ResultsContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func writeQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQuotaExceeded) {
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", errors.New("endpoint: missing query parameter")
+		}
+		return q, nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				return "", err
+			}
+			return string(b), nil
+		}
+		if err := r.ParseForm(); err != nil {
+			return "", err
+		}
+		q := r.PostForm.Get("query")
+		if q == "" {
+			return "", errors.New("endpoint: missing query form field")
+		}
+		return q, nil
+	default:
+		return "", fmt.Errorf("endpoint: method %s not allowed", r.Method)
+	}
+}
+
+// Client is an Endpoint backed by a remote SPARQL HTTP service.
+type Client struct {
+	name    string
+	baseURL string
+	httpc   *http.Client
+}
+
+// NewClient builds a client for the service at baseURL (e.g.
+// "http://host:port/sparql"). If httpc is nil, http.DefaultClient is used.
+func NewClient(name, baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{name: name, baseURL: baseURL, httpc: httpc}
+}
+
+// Name implements Endpoint.
+func (c *Client) Name() string { return c.name }
+
+func (c *Client) roundTrip(query string) (*sparql.Result, error) {
+	form := url.Values{"query": {query}}
+	resp, err := c.httpc.PostForm(c.baseURL, form)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return UnmarshalResults(body)
+	case http.StatusTooManyRequests:
+		return nil, ErrQuotaExceeded
+	default:
+		return nil, fmt.Errorf("endpoint: %s: HTTP %d: %s", c.baseURL, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+}
+
+// Select implements Endpoint.
+func (c *Client) Select(query string) (*sparql.Result, error) {
+	return c.roundTrip(query)
+}
+
+// Ask implements Endpoint.
+func (c *Client) Ask(query string) (bool, error) {
+	res, err := c.roundTrip(query)
+	if err != nil {
+		return false, err
+	}
+	return res.Ask, nil
+}
+
+var _ Endpoint = (*Client)(nil)

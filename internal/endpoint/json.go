@@ -1,0 +1,127 @@
+package endpoint
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sofya/internal/rdf"
+	"sofya/internal/sparql"
+)
+
+// The wire format is the W3C "SPARQL 1.1 Query Results JSON Format":
+//
+//	{"head":{"vars":["x"]},
+//	 "results":{"bindings":[{"x":{"type":"uri","value":"http://..."}}]}}
+//
+// ASK results carry {"head":{},"boolean":true}.
+
+type jsonResults struct {
+	Head    jsonHead     `json:"head"`
+	Results *jsonResRows `json:"results,omitempty"`
+	Boolean *bool        `json:"boolean,omitempty"`
+	// Truncated is a nonstandard extension flag used by this
+	// repository's endpoints to signal a row cap, mirroring the
+	// X-SPARQL-MaxRows headers some public endpoints emit.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars,omitempty"`
+}
+
+type jsonResRows struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	Type     string `json:"type"` // uri | literal | bnode
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+func termToJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.Blank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+	}
+}
+
+func termFromJSON(j jsonTerm) (rdf.Term, error) {
+	switch j.Type {
+	case "uri":
+		return rdf.NewIRI(j.Value), nil
+	case "bnode":
+		return rdf.NewBlank(j.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case j.Lang != "":
+			return rdf.NewLangLiteral(j.Value, j.Lang), nil
+		case j.Datatype != "" && j.Datatype != rdf.XSDString:
+			return rdf.NewTypedLiteral(j.Value, j.Datatype), nil
+		default:
+			return rdf.NewLiteral(j.Value), nil
+		}
+	default:
+		return rdf.Term{}, fmt.Errorf("endpoint: unknown term type %q", j.Type)
+	}
+}
+
+// MarshalSelect encodes a SELECT result in SPARQL-results JSON.
+func MarshalSelect(res *sparql.Result) ([]byte, error) {
+	out := jsonResults{
+		Head:      jsonHead{Vars: res.Vars},
+		Results:   &jsonResRows{Bindings: make([]map[string]jsonTerm, 0, len(res.Rows))},
+		Truncated: res.Truncated,
+	}
+	for _, row := range res.Rows {
+		b := make(map[string]jsonTerm, len(res.Vars))
+		for i, v := range res.Vars {
+			b[v] = termToJSON(row[i])
+		}
+		out.Results.Bindings = append(out.Results.Bindings, b)
+	}
+	return json.Marshal(out)
+}
+
+// MarshalAsk encodes an ASK result in SPARQL-results JSON.
+func MarshalAsk(ok bool) ([]byte, error) {
+	return json.Marshal(jsonResults{Boolean: &ok})
+}
+
+// UnmarshalResults decodes a SPARQL-results JSON document into a Result.
+// ASK answers come back with Ask set and no rows.
+func UnmarshalResults(data []byte) (*sparql.Result, error) {
+	var in jsonResults
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("endpoint: bad results JSON: %w", err)
+	}
+	res := &sparql.Result{Vars: in.Head.Vars, Truncated: in.Truncated}
+	if in.Boolean != nil {
+		res.Ask = *in.Boolean
+		return res, nil
+	}
+	if in.Results == nil {
+		return res, nil
+	}
+	for _, b := range in.Results.Bindings {
+		row := make([]rdf.Term, len(res.Vars))
+		for i, v := range res.Vars {
+			jt, ok := b[v]
+			if !ok {
+				return nil, fmt.Errorf("endpoint: binding missing variable %q", v)
+			}
+			t, err := termFromJSON(jt)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = t
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"sofya/internal/core"
+	"sofya/internal/ilp"
+)
+
+func al(body, head string, conf float64, support int, accepted bool) core.Alignment {
+	return core.Alignment{
+		Rule:       ilp.Rule{Body: body, Head: head, BodyKB: "b", HeadKB: "h"},
+		Confidence: conf,
+		Support:    support,
+		Accepted:   accepted,
+	}
+}
+
+func TestGold(t *testing.T) {
+	g := NewGold([][2]string{{"b1", "h1"}, {"b2", "h2"}})
+	if !g.Holds("b1", "h1") || g.Holds("b1", "h2") {
+		t.Fatal("Holds wrong")
+	}
+	if g.Size() != 2 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+}
+
+func TestScore(t *testing.T) {
+	g := NewGold([][2]string{{"b1", "h1"}, {"b2", "h2"}, {"b3", "h3"}})
+	accepted := []core.Alignment{
+		al("b1", "h1", 0.9, 5, true),  // TP
+		al("bX", "h1", 0.8, 5, true),  // FP
+		al("b2", "h2", 0.2, 5, false), // rejected: ignored
+		al("b1", "h1", 0.9, 5, true),  // duplicate TP: counted once
+	}
+	m := Score(accepted, g)
+	if m.TP != 1 || m.FP != 1 || m.FN != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Precision != 0.5 {
+		t.Fatalf("precision = %f", m.Precision)
+	}
+	if m.Recall < 0.33 || m.Recall > 0.34 {
+		t.Fatalf("recall = %f", m.Recall)
+	}
+	if m.F1 <= 0 || m.F1 >= 1 {
+		t.Fatalf("f1 = %f", m.F1)
+	}
+	if !strings.Contains(m.String(), "P=0.50") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	g := NewGold(nil)
+	m := Score(nil, g)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+}
+
+func TestScoreAt(t *testing.T) {
+	g := NewGold([][2]string{{"b1", "h1"}, {"b2", "h2"}})
+	all := []core.Alignment{
+		al("b1", "h1", 0.9, 5, false),
+		al("b2", "h2", 0.4, 5, false),
+		al("bX", "h1", 0.5, 5, false),
+		al("bY", "h2", 0.9, 1, false), // support 1
+	}
+	// τ 0.8, minSupport 2: accepts only b1
+	m := ScoreAt(all, g, 0.8, 2, false, 1)
+	if m.TP != 1 || m.FP != 0 || m.FN != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// τ 0.3: accepts b1, b2, bX
+	m = ScoreAt(all, g, 0.3, 2, false, 1)
+	if m.TP != 2 || m.FP != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// UBS-respecting scoring drops contradicted rules
+	contr := al("bX", "h1", 0.5, 5, false)
+	contr.Contradictions = 3
+	m = ScoreAt([]core.Alignment{contr}, g, 0.3, 2, true, 1)
+	if m.FP != 0 {
+		t.Fatalf("contradicted rule not dropped: %+v", m)
+	}
+}
+
+func TestSweepAndBestAvgF1(t *testing.T) {
+	g := NewGold([][2]string{{"b1", "h1"}})
+	all := []core.Alignment{
+		al("b1", "h1", 0.9, 5, false),
+		al("bX", "h1", 0.4, 5, false),
+	}
+	points := SweepThresholds(all, g, []float64{0.2, 0.5, 0.95}, 1)
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// τ 0.2: P=0.5 R=1; τ 0.5: P=1 R=1; τ 0.95: P=0 R=0
+	if points[1].PRF.F1 != 1 {
+		t.Fatalf("sweep = %+v", points)
+	}
+	tau, prfs := BestAvgF1([][]core.Alignment{all}, []*Gold{g}, []float64{0.2, 0.5, 0.95}, 1)
+	if tau != 0.5 || prfs[0].F1 != 1 {
+		t.Fatalf("best tau = %f, prfs = %+v", tau, prfs)
+	}
+}
+
+func TestBestAvgF1PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	BestAvgF1(nil, []*Gold{NewGold(nil)}, []float64{0.5}, 1)
+}
+
+func TestDefaultTaus(t *testing.T) {
+	taus := DefaultTaus()
+	if len(taus) != 20 || taus[0] != 0.05 || taus[len(taus)-1] != 1.0 {
+		t.Fatalf("taus = %v", taus)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.Add("alpha", 0.123456)
+	tab.Add("b", 42)
+	s := tab.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "0.12") || !strings.Contains(s, "42") {
+		t.Fatalf("table = %q", s)
+	}
+	// aligned: header row and separator present
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	md := tab.Markdown()
+	if !strings.HasPrefix(md, "| name | value |") || !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("markdown = %q", md)
+	}
+}
+
+func TestFalsePositivesAndNegatives(t *testing.T) {
+	g := NewGold([][2]string{{"b1", "h1"}, {"b2", "h2"}})
+	accepted := []core.Alignment{
+		al("b1", "h1", 0.9, 5, true),
+		al("bX", "h1", 0.9, 5, true),
+	}
+	fps := FalsePositives(accepted, g)
+	if len(fps) != 1 || !strings.Contains(fps[0], "bX") {
+		t.Fatalf("fps = %v", fps)
+	}
+	fns := FalseNegativeKeys(accepted, g)
+	if len(fns) != 1 || !strings.Contains(fns[0], "b2") {
+		t.Fatalf("fns = %v", fns)
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sofya/internal/core"
+	"sofya/internal/synth"
+)
+
+func tinySetup() *Setup {
+	return NewSetup(synth.Generate(synth.TinySpec()))
+}
+
+func TestRunDirectionBasics(t *testing.T) {
+	s := tinySetup()
+	run, err := s.Run(DbpToYago, core.UBSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.HeadsAligned != len(s.World.Report.YagoRelations) {
+		t.Fatalf("heads aligned = %d", run.HeadsAligned)
+	}
+	if run.QueriesHead == 0 || run.QueriesBody == 0 {
+		t.Fatal("no queries recorded")
+	}
+	if run.PRF.F1 <= 0 {
+		t.Fatalf("F1 = %f", run.PRF.F1)
+	}
+	if run.Direction.String() != "dbpd ⊂ yago" {
+		t.Fatalf("direction = %s", run.Direction)
+	}
+	if YagoToDbp.String() != "yago ⊂ dbpd" {
+		t.Fatalf("direction = %s", YagoToDbp)
+	}
+}
+
+// The headline reproduction claim on the tiny world: UBS precision and
+// F1 beat both baselines in both directions. Loose bounds — this is a
+// statistical system on a small world — but directionally strict.
+func TestTable1ShapeOnTinyWorld(t *testing.T) {
+	s := tinySetup()
+	res, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var pcaRow, ubsRow Table1Row
+	for _, r := range res.Rows {
+		switch r.Method {
+		case "pcaconf":
+			pcaRow = r
+		case "UBS pcaconf":
+			ubsRow = r
+		}
+	}
+	if ubsRow.D2Y.Precision < 0.7 || ubsRow.Y2D.Precision < 0.7 {
+		t.Fatalf("UBS precision too low: %+v", ubsRow)
+	}
+	if ubsRow.D2Y.F1 <= pcaRow.D2Y.F1-0.05 {
+		t.Fatalf("UBS F1 (%.2f) should not trail pcaconf (%.2f)", ubsRow.D2Y.F1, pcaRow.D2Y.F1)
+	}
+	// render includes the paper's reference numbers
+	out := res.Render().String()
+	if !strings.Contains(out, "0.95/0.97") || !strings.Contains(out, "UBS pcaconf") {
+		t.Fatalf("render = %s", out)
+	}
+}
+
+func TestSampleSizeSweep(t *testing.T) {
+	s := tinySetup()
+	points, err := SampleSizeSweep(s, []int{2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// more samples should not hurt UBS F1 dramatically (loose sanity)
+	if points[1].UBS.F1+0.25 < points[0].UBS.F1 {
+		t.Fatalf("F1 collapsed with more samples: %+v", points)
+	}
+	if RenderSampleSize(points).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestThresholdSweepAndQueryBudget(t *testing.T) {
+	s := tinySetup()
+	res, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pca, cwa := ThresholdSweep(res)
+	if len(pca) != len(cwa) || len(pca) == 0 {
+		t.Fatalf("sweep lengths: %d, %d", len(pca), len(cwa))
+	}
+	// precision should not decrease as τ increases (weakly, allowing
+	// small-sample wobble at the top end)
+	if pca[0].PRF.Recall < pca[len(pca)-1].PRF.Recall {
+		t.Fatalf("recall should shrink with τ: %+v", pca)
+	}
+	if RenderThresholdSweep(pca, cwa).String() == "" {
+		t.Fatal("empty render")
+	}
+
+	rows := QueryBudget(s, res)
+	if len(rows) != 4 {
+		t.Fatalf("budget rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Queries <= 0 || r.QueriesPerHead <= 0 {
+			t.Fatalf("bad budget row: %+v", r)
+		}
+	}
+	if RenderQueryBudget(rows).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSameAsCoverageSweep(t *testing.T) {
+	s := tinySetup()
+	points, err := SameAsCoverage(s, []float64{0.3, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// full coverage should recall at least as much as 30% coverage
+	if points[1].UBS.Recall+0.05 < points[0].UBS.Recall {
+		t.Fatalf("recall should grow with coverage: %+v", points)
+	}
+	if RenderCoverage(points).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestUBSAblation(t *testing.T) {
+	s := tinySetup()
+	rows, err := UBSAblation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var noUBS, both AblationRow
+	for _, r := range rows {
+		switch r.Name {
+		case "no UBS (τ=0.05 floor)":
+			noUBS = r
+		case "both (UBS)":
+			both = r
+		}
+	}
+	if both.D2Y.Precision < noUBS.D2Y.Precision {
+		t.Fatalf("UBS should not lower precision vs no pruning: %+v vs %+v", both, noUBS)
+	}
+	if RenderAblation(rows).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSnapshotComparison(t *testing.T) {
+	s := tinySetup()
+	res, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := SnapshotComparison(s, res)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var snapRows, sofyaRows int
+	for _, r := range rows {
+		if strings.HasPrefix(r.Method, "snapshot") {
+			snapRows += r.FactsAccessed
+		} else {
+			sofyaRows += r.FactsAccessed
+		}
+	}
+	if snapRows == 0 || sofyaRows == 0 {
+		t.Fatal("missing access accounting")
+	}
+	if RenderSnapshot(rows).String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestWorldSummary(t *testing.T) {
+	s := tinySetup()
+	out := WorldSummary(s.World).String()
+	for _, want := range []string{"yago relations", "sameAs links", "gold pairs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Full-scale Table 1 shape check; skipped in -short runs.
+func TestTable1FullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full world")
+	}
+	s := NewSetup(synth.Generate(synth.DefaultSpec()))
+	res, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pcaRow, cwaRow, ubsRow Table1Row
+	for _, r := range res.Rows {
+		switch r.Method {
+		case "pcaconf":
+			pcaRow = r
+		case "cwaconf":
+			cwaRow = r
+		default:
+			ubsRow = r
+		}
+	}
+	// the paper's qualitative claims
+	if ubsRow.D2Y.Precision < 0.8 || ubsRow.Y2D.Precision < 0.8 {
+		t.Errorf("UBS precision below 0.8: %+v", ubsRow)
+	}
+	if ubsRow.D2Y.F1 <= pcaRow.D2Y.F1 || ubsRow.Y2D.F1 <= pcaRow.Y2D.F1 {
+		t.Errorf("UBS F1 does not beat pcaconf: UBS=%+v pca=%+v", ubsRow, pcaRow)
+	}
+	if ubsRow.D2Y.F1 <= cwaRow.D2Y.F1 || ubsRow.Y2D.F1 <= cwaRow.Y2D.F1 {
+		t.Errorf("UBS F1 does not beat cwaconf: UBS=%+v cwa=%+v", ubsRow, cwaRow)
+	}
+	if ubsRow.Y2D.F1 < ubsRow.D2Y.F1-0.03 {
+		t.Errorf("direction ordering differs from paper: %+v", ubsRow)
+	}
+	// baselines sit well below UBS precision, as in Table 1
+	if pcaRow.Y2D.Precision > ubsRow.Y2D.Precision {
+		t.Errorf("pcaconf precision above UBS: %+v vs %+v", pcaRow, ubsRow)
+	}
+}

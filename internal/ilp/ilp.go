@@ -1,0 +1,152 @@
+// Package ilp implements the inductive-logic-programming side of SOFYA:
+// subsumption rules r'(x,y) ⇒ r(x,y) between relations of two KBs, the
+// evidence gathered for a rule from samples, and the two confidence
+// measures of §2.1 —
+//
+//	cwaconf(r'⇒r) = #(x,y): r'(x,y) ∧ r(x,y)  /  #(x,y): r'(x,y)        (Eq. 1)
+//	pcaconf(r'⇒r) = #(x,y): r'(x,y) ∧ r(x,y)  /  #(x,y): ∃y'. r'(x,y) ∧ r(x,y')  (Eq. 2)
+//
+// cwaconf treats every absent fact as a counter-example (closed-world
+// assumption); pcaconf (from AMIE) counts a pair against the rule only
+// when the subject is known to have at least one r-fact in K (partial
+// completeness assumption).
+package ilp
+
+import "fmt"
+
+// Rule is a subsumption hypothesis: Body(x,y) ⇒ Head(x,y), with Body a
+// relation of the target KB K' and Head a relation of the source KB K.
+type Rule struct {
+	// BodyKB and HeadKB name the two datasets, for display.
+	BodyKB, HeadKB string
+	// Body and Head are relation IRIs.
+	Body, Head string
+}
+
+// String renders the rule in the paper's notation, e.g.
+// "kb1:wasBornIn(x, y) ⇒ kb2:bornInCountry(x, y)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%s:%s(x, y) ⇒ %s:%s(x, y)", r.BodyKB, shorten(r.Body), r.HeadKB, shorten(r.Head))
+}
+
+// Reverse returns the converse implication Head ⇒ Body, used when
+// testing equivalence as a double subsumption.
+func (r Rule) Reverse() Rule {
+	return Rule{BodyKB: r.HeadKB, HeadKB: r.BodyKB, Body: r.Head, Head: r.Body}
+}
+
+func shorten(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '/' || iri[i] == '#' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}
+
+// PairEvidence is the evidence one sampled pair contributes to a rule
+// r'⇒r. The pair (X,Y) is a r'-fact from K' already translated into K
+// identifiers (or literal-matched, for entity-literal relations).
+type PairEvidence struct {
+	// X, Y identify the translated pair, for provenance and debugging.
+	X, Y string
+	// HeadHolds records whether r(X,Y) was found in K.
+	HeadHolds bool
+	// SubjectHasHead records whether X has any r-fact in K (∃y' r(X,y')).
+	// HeadHolds implies SubjectHasHead.
+	SubjectHasHead bool
+}
+
+// Evidence aggregates the sampled pairs for one rule.
+type Evidence struct {
+	Pairs []PairEvidence
+}
+
+// Add appends one pair, normalizing the HeadHolds ⇒ SubjectHasHead
+// invariant.
+func (e *Evidence) Add(p PairEvidence) {
+	if p.HeadHolds {
+		p.SubjectHasHead = true
+	}
+	e.Pairs = append(e.Pairs, p)
+}
+
+// Support is the number of pairs confirming the rule:
+// #(x,y): r'(x,y) ∧ r(x,y).
+func (e *Evidence) Support() int {
+	n := 0
+	for _, p := range e.Pairs {
+		if p.HeadHolds {
+			n++
+		}
+	}
+	return n
+}
+
+// Total is the number of sampled body facts: #(x,y): r'(x,y).
+func (e *Evidence) Total() int { return len(e.Pairs) }
+
+// PCADenominator counts pairs whose subject has at least one head fact.
+func (e *Evidence) PCADenominator() int {
+	n := 0
+	for _, p := range e.Pairs {
+		if p.SubjectHasHead {
+			n++
+		}
+	}
+	return n
+}
+
+// CWAConf computes Equation 1. It returns 0 for empty evidence.
+func (e *Evidence) CWAConf() float64 {
+	if len(e.Pairs) == 0 {
+		return 0
+	}
+	return float64(e.Support()) / float64(len(e.Pairs))
+}
+
+// PCAConf computes Equation 2. It returns 0 when no sampled subject has
+// any head fact (the PCA gives no verdict and the rule cannot be
+// accepted from this sample).
+func (e *Evidence) PCAConf() float64 {
+	d := e.PCADenominator()
+	if d == 0 {
+		return 0
+	}
+	return float64(e.Support()) / float64(d)
+}
+
+// Merge appends all pairs of other into e.
+func (e *Evidence) Merge(other *Evidence) {
+	e.Pairs = append(e.Pairs, other.Pairs...)
+}
+
+// Measure selects one of the two confidence functions.
+type Measure uint8
+
+const (
+	// PCA selects pcaconf (Equation 2).
+	PCA Measure = iota
+	// CWA selects cwaconf (Equation 1).
+	CWA
+)
+
+// String names the measure as in the paper.
+func (m Measure) String() string {
+	switch m {
+	case PCA:
+		return "pcaconf"
+	case CWA:
+		return "cwaconf"
+	default:
+		return fmt.Sprintf("Measure(%d)", uint8(m))
+	}
+}
+
+// Conf applies the selected measure to the evidence.
+func (m Measure) Conf(e *Evidence) float64 {
+	if m == CWA {
+		return e.CWAConf()
+	}
+	return e.PCAConf()
+}

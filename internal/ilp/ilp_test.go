@@ -1,0 +1,134 @@
+package ilp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRuleString(t *testing.T) {
+	r := Rule{BodyKB: "kb1", HeadKB: "kb2",
+		Body: "http://kb1.org/resource/wasBornIn",
+		Head: "http://kb2.org/property/bornInCountry"}
+	s := r.String()
+	if !strings.Contains(s, "kb1:wasBornIn(x, y)") || !strings.Contains(s, "⇒ kb2:bornInCountry(x, y)") {
+		t.Fatalf("String = %q", s)
+	}
+	// hash-terminated namespaces shorten too
+	r2 := Rule{BodyKB: "a", HeadKB: "b", Body: "http://x#p", Head: "plain"}
+	if !strings.Contains(r2.String(), "a:p(x, y)") || !strings.Contains(r2.String(), "b:plain") {
+		t.Fatalf("String = %q", r2.String())
+	}
+}
+
+func TestRuleReverse(t *testing.T) {
+	r := Rule{BodyKB: "a", HeadKB: "b", Body: "pa", Head: "pb"}
+	rev := r.Reverse()
+	if rev.Body != "pb" || rev.Head != "pa" || rev.BodyKB != "b" || rev.HeadKB != "a" {
+		t.Fatalf("Reverse = %+v", rev)
+	}
+	if rev.Reverse() != r {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+// The paper's worked shapes: 10 samples, 7 confirmed, 1 subject with
+// other head facts only, 2 subjects with no head facts at all.
+func TestConfidenceMeasuresPaperShapes(t *testing.T) {
+	var e Evidence
+	for i := 0; i < 7; i++ {
+		e.Add(PairEvidence{X: "x", Y: "y", HeadHolds: true})
+	}
+	e.Add(PairEvidence{X: "x8", Y: "y8", SubjectHasHead: true}) // PCA counter-example
+	e.Add(PairEvidence{X: "x9", Y: "y9"})                      // unknown subject: CWA-only counter-example
+	e.Add(PairEvidence{X: "x10", Y: "y10"})
+
+	if e.Total() != 10 || e.Support() != 7 || e.PCADenominator() != 8 {
+		t.Fatalf("counts: total=%d support=%d pcaDen=%d", e.Total(), e.Support(), e.PCADenominator())
+	}
+	if got := e.CWAConf(); got != 0.7 {
+		t.Fatalf("cwaconf = %f", got)
+	}
+	if got := e.PCAConf(); got != 7.0/8.0 {
+		t.Fatalf("pcaconf = %f", got)
+	}
+}
+
+func TestConfidenceEmptyEvidence(t *testing.T) {
+	var e Evidence
+	if e.CWAConf() != 0 || e.PCAConf() != 0 {
+		t.Fatal("empty evidence must yield zero confidence")
+	}
+}
+
+func TestPCAWithNoInformativeSubjects(t *testing.T) {
+	var e Evidence
+	e.Add(PairEvidence{X: "x", Y: "y"}) // subject has no head facts
+	if e.PCAConf() != 0 {
+		t.Fatal("PCA with empty denominator must be 0")
+	}
+	if e.CWAConf() != 0 {
+		t.Fatal("CWA should be 0 too")
+	}
+}
+
+func TestAddNormalizesInvariant(t *testing.T) {
+	var e Evidence
+	// HeadHolds=true with SubjectHasHead=false is contradictory input;
+	// Add repairs it.
+	e.Add(PairEvidence{HeadHolds: true, SubjectHasHead: false})
+	if !e.Pairs[0].SubjectHasHead {
+		t.Fatal("Add must enforce HeadHolds ⇒ SubjectHasHead")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Evidence
+	a.Add(PairEvidence{HeadHolds: true})
+	b.Add(PairEvidence{})
+	b.Add(PairEvidence{HeadHolds: true})
+	a.Merge(&b)
+	if a.Total() != 3 || a.Support() != 2 {
+		t.Fatalf("merged: total=%d support=%d", a.Total(), a.Support())
+	}
+}
+
+func TestMeasureSelector(t *testing.T) {
+	var e Evidence
+	e.Add(PairEvidence{HeadHolds: true})
+	e.Add(PairEvidence{}) // no head info
+	if PCA.Conf(&e) != 1.0 {
+		t.Fatalf("PCA.Conf = %f", PCA.Conf(&e))
+	}
+	if CWA.Conf(&e) != 0.5 {
+		t.Fatalf("CWA.Conf = %f", CWA.Conf(&e))
+	}
+	if PCA.String() != "pcaconf" || CWA.String() != "cwaconf" {
+		t.Fatal("measure names")
+	}
+}
+
+// Property: pcaconf ≥ cwaconf on any evidence (same numerator, smaller
+// denominator), and both lie in [0,1].
+func TestQuickPCABoundsCWA(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Evidence
+		for i := 0; i < int(n%50); i++ {
+			head := rng.Intn(3) == 0
+			subj := head || rng.Intn(2) == 0
+			e.Add(PairEvidence{HeadHolds: head, SubjectHasHead: subj})
+		}
+		cwa, pca := e.CWAConf(), e.PCAConf()
+		if cwa < 0 || cwa > 1 || pca < 0 || pca > 1 {
+			return false
+		}
+		// when the PCA denominator is empty both are zero; otherwise
+		// pca dominates.
+		return pca >= cwa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

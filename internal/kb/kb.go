@@ -1,0 +1,285 @@
+// Package kb implements an in-memory indexed RDF triple store.
+//
+// A KB interns terms into dense integer IDs and maintains three indexes —
+// SPO (subject → predicate → objects), POS (predicate → object → subjects)
+// and PSO (predicate → subject → objects) — which together answer every
+// access pattern the SPARQL engine and the SOFYA samplers need: facts of a
+// relation, objects of a subject under a relation, subjects pointing at an
+// object, and the set of predicates linking two terms.
+//
+// A KB is not safe for concurrent mutation. Once loaded it may be read
+// concurrently from any number of goroutines, which is how the endpoint
+// layer uses it.
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"sofya/internal/rdf"
+)
+
+// TermID is a dense identifier for an interned term. IDs are assigned in
+// first-seen order starting at 0; they are stable for the lifetime of the
+// KB and meaningless across KBs.
+type TermID int32
+
+// NoTerm is returned by lookups that find nothing.
+const NoTerm TermID = -1
+
+// Fact is an interned triple.
+type Fact struct {
+	S, P, O TermID
+}
+
+// KB is an in-memory, indexed collection of triples. The zero value is
+// not usable; call New.
+type KB struct {
+	name  string
+	dict  map[rdf.Term]TermID
+	terms []rdf.Term
+
+	spo map[TermID]map[TermID][]TermID
+	pos map[TermID]map[TermID][]TermID
+	pso map[TermID]map[TermID][]TermID
+
+	size int
+}
+
+// New returns an empty KB. The name labels the KB in diagnostics and
+// endpoint statistics ("yago", "dbpedia", ...).
+func New(name string) *KB {
+	return &KB{
+		name: name,
+		dict: make(map[rdf.Term]TermID),
+		spo:  make(map[TermID]map[TermID][]TermID),
+		pos:  make(map[TermID]map[TermID][]TermID),
+		pso:  make(map[TermID]map[TermID][]TermID),
+	}
+}
+
+// Name returns the KB's label.
+func (k *KB) Name() string { return k.name }
+
+// Size returns the number of distinct triples stored.
+func (k *KB) Size() int { return k.size }
+
+// NumTerms returns the number of interned terms.
+func (k *KB) NumTerms() int { return len(k.terms) }
+
+// Intern returns the ID for t, assigning a new one if t is unseen.
+func (k *KB) Intern(t rdf.Term) TermID {
+	if id, ok := k.dict[t]; ok {
+		return id
+	}
+	id := TermID(len(k.terms))
+	k.dict[t] = id
+	k.terms = append(k.terms, t)
+	return id
+}
+
+// Lookup returns the ID for t, or NoTerm if t was never interned.
+func (k *KB) Lookup(t rdf.Term) TermID {
+	if id, ok := k.dict[t]; ok {
+		return id
+	}
+	return NoTerm
+}
+
+// LookupIRI is Lookup for an IRI string.
+func (k *KB) LookupIRI(iri string) TermID { return k.Lookup(rdf.NewIRI(iri)) }
+
+// Term returns the term for id. It panics if id is out of range.
+func (k *KB) Term(id TermID) rdf.Term {
+	if id < 0 || int(id) >= len(k.terms) {
+		panic(fmt.Sprintf("kb: term id %d out of range [0,%d)", id, len(k.terms)))
+	}
+	return k.terms[id]
+}
+
+// Add inserts a triple, interning its terms. It reports whether the
+// triple was new. Structurally invalid triples are rejected with false.
+func (k *KB) Add(t rdf.Triple) bool {
+	if !t.Valid() {
+		return false
+	}
+	return k.AddFact(k.Intern(t.S), k.Intern(t.P), k.Intern(t.O))
+}
+
+// AddIRIs inserts an entity-entity triple given as three IRI strings.
+func (k *KB) AddIRIs(s, p, o string) bool {
+	return k.Add(rdf.NewTriple(rdf.NewIRI(s), rdf.NewIRI(p), rdf.NewIRI(o)))
+}
+
+// AddFact inserts an already-interned fact, reporting whether it was new.
+func (k *KB) AddFact(s, p, o TermID) bool {
+	po, ok := k.spo[s]
+	if !ok {
+		po = make(map[TermID][]TermID, 4)
+		k.spo[s] = po
+	}
+	objs := po[p]
+	for _, x := range objs {
+		if x == o {
+			return false
+		}
+	}
+	po[p] = append(objs, o)
+
+	os, ok := k.pos[p]
+	if !ok {
+		os = make(map[TermID][]TermID, 16)
+		k.pos[p] = os
+	}
+	os[o] = append(os[o], s)
+
+	so, ok := k.pso[p]
+	if !ok {
+		so = make(map[TermID][]TermID, 16)
+		k.pso[p] = so
+	}
+	so[s] = append(so[s], o)
+
+	k.size++
+	return true
+}
+
+// HasFact reports whether the fact (s,p,o) is present.
+func (k *KB) HasFact(s, p, o TermID) bool {
+	for _, x := range k.spo[s][p] {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports whether the triple is present (terms not yet interned
+// trivially make it absent).
+func (k *KB) Has(t rdf.Triple) bool {
+	s, p, o := k.Lookup(t.S), k.Lookup(t.P), k.Lookup(t.O)
+	if s == NoTerm || p == NoTerm || o == NoTerm {
+		return false
+	}
+	return k.HasFact(s, p, o)
+}
+
+// ObjectsOf returns the objects o with p(s,o), in insertion order. The
+// returned slice is owned by the KB and must not be mutated.
+func (k *KB) ObjectsOf(s, p TermID) []TermID { return k.spo[s][p] }
+
+// SubjectsOf returns the subjects s with p(s,o), in insertion order. The
+// returned slice is owned by the KB and must not be mutated.
+func (k *KB) SubjectsOf(p, o TermID) []TermID { return k.pos[p][o] }
+
+// PredicatesOfSubject returns the distinct predicates p such that s has
+// at least one p-fact, sorted by term for determinism.
+func (k *KB) PredicatesOfSubject(s TermID) []TermID {
+	po := k.spo[s]
+	out := make([]TermID, 0, len(po))
+	for p := range po {
+		out = append(out, p)
+	}
+	k.sortByTerm(out)
+	return out
+}
+
+// PredicatesBetween returns the predicates p with p(s,o), sorted by term.
+func (k *KB) PredicatesBetween(s, o TermID) []TermID {
+	var out []TermID
+	for p, objs := range k.spo[s] {
+		for _, x := range objs {
+			if x == o {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	k.sortByTerm(out)
+	return out
+}
+
+// Relations returns every predicate that occurs in at least one fact,
+// sorted by term for determinism.
+func (k *KB) Relations() []TermID {
+	out := make([]TermID, 0, len(k.pso))
+	for p := range k.pso {
+		out = append(out, p)
+	}
+	k.sortByTerm(out)
+	return out
+}
+
+// EachFactOf calls fn for every fact (s,o) of relation p. Subjects are
+// visited in sorted-term order, objects in insertion order. fn returning
+// false stops the iteration.
+func (k *KB) EachFactOf(p TermID, fn func(s, o TermID) bool) {
+	so := k.pso[p]
+	subjects := make([]TermID, 0, len(so))
+	for s := range so {
+		subjects = append(subjects, s)
+	}
+	k.sortByTerm(subjects)
+	for _, s := range subjects {
+		for _, o := range so[s] {
+			if !fn(s, o) {
+				return
+			}
+		}
+	}
+}
+
+// SubjectsWith returns the distinct subjects that have at least one
+// p-fact, sorted by term.
+func (k *KB) SubjectsWith(p TermID) []TermID {
+	so := k.pso[p]
+	out := make([]TermID, 0, len(so))
+	for s := range so {
+		out = append(out, s)
+	}
+	k.sortByTerm(out)
+	return out
+}
+
+// NumFactsOf returns the number of facts of relation p.
+func (k *KB) NumFactsOf(p TermID) int {
+	n := 0
+	for _, objs := range k.pso[p] {
+		n += len(objs)
+	}
+	return n
+}
+
+// NumSubjectsOf returns the number of distinct subjects of relation p.
+func (k *KB) NumSubjectsOf(p TermID) int { return len(k.pso[p]) }
+
+// Triples materializes every stored triple, ordered by subject term,
+// then predicate term, then object insertion order. Intended for
+// serialization and tests, not hot paths.
+func (k *KB) Triples() []rdf.Triple {
+	out := make([]rdf.Triple, 0, k.size)
+	subjects := make([]TermID, 0, len(k.spo))
+	for s := range k.spo {
+		subjects = append(subjects, s)
+	}
+	k.sortByTerm(subjects)
+	for _, s := range subjects {
+		preds := make([]TermID, 0, len(k.spo[s]))
+		for p := range k.spo[s] {
+			preds = append(preds, p)
+		}
+		k.sortByTerm(preds)
+		for _, p := range preds {
+			for _, o := range k.spo[s][p] {
+				out = append(out, rdf.Triple{S: k.terms[s], P: k.terms[p], O: k.terms[o]})
+			}
+		}
+	}
+	return out
+}
+
+func (k *KB) sortByTerm(ids []TermID) {
+	sort.Slice(ids, func(i, j int) bool {
+		return k.terms[ids[i]].Compare(k.terms[ids[j]]) < 0
+	})
+}

@@ -1,0 +1,49 @@
+package kb
+
+import (
+	"io"
+	"os"
+
+	"sofya/internal/rdf"
+)
+
+// Load reads N-Triples from r into a new KB named name.
+func Load(name string, r io.Reader) (*KB, error) {
+	k := New(name)
+	err := rdf.ScanNTriples(r, func(t rdf.Triple) error {
+		k.Add(t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// LoadFile reads an N-Triples file into a new KB named name.
+func LoadFile(name, path string) (*KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(name, f)
+}
+
+// WriteNT serializes the KB as N-Triples to w.
+func (k *KB) WriteNT(w io.Writer) error {
+	return rdf.WriteNTriples(w, k.Triples())
+}
+
+// WriteFile serializes the KB as N-Triples to path.
+func (k *KB) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := k.WriteNT(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,94 @@
+package kb
+
+import "sofya/internal/rdf"
+
+// RelStats summarizes a relation, in the spirit of the functionality
+// statistics used by PARIS and AMIE.
+type RelStats struct {
+	// Relation is the predicate term.
+	Relation rdf.Term
+	// Facts is the number of (s,o) pairs.
+	Facts int
+	// Subjects is the number of distinct subjects.
+	Subjects int
+	// Objects is the number of distinct objects.
+	Objects int
+	// Functionality is Subjects/Facts: 1.0 for strictly functional
+	// relations (each subject has one object), approaching 0 for
+	// one-to-many relations. Zero if the relation has no facts.
+	Functionality float64
+	// InverseFunctionality is Objects/Facts.
+	InverseFunctionality float64
+	// LiteralObjects is the number of facts whose object is a literal.
+	LiteralObjects int
+}
+
+// IsLiteralRelation reports whether the relation's objects are
+// predominantly literals (more than half of its facts).
+func (rs RelStats) IsLiteralRelation() bool {
+	return rs.Facts > 0 && rs.LiteralObjects*2 > rs.Facts
+}
+
+// StatsOf computes RelStats for relation p.
+func (k *KB) StatsOf(p TermID) RelStats {
+	rs := RelStats{Relation: k.Term(p)}
+	objects := make(map[TermID]struct{})
+	for _, objs := range k.pso[p] {
+		rs.Subjects++
+		for _, o := range objs {
+			rs.Facts++
+			objects[o] = struct{}{}
+			if k.terms[o].IsLiteral() {
+				rs.LiteralObjects++
+			}
+		}
+	}
+	rs.Objects = len(objects)
+	if rs.Facts > 0 {
+		rs.Functionality = float64(rs.Subjects) / float64(rs.Facts)
+		rs.InverseFunctionality = float64(rs.Objects) / float64(rs.Facts)
+	}
+	return rs
+}
+
+// AllStats computes RelStats for every relation, ordered like Relations().
+func (k *KB) AllStats() []RelStats {
+	rels := k.Relations()
+	out := make([]RelStats, len(rels))
+	for i, p := range rels {
+		out[i] = k.StatsOf(p)
+	}
+	return out
+}
+
+// AddInverses adds, for every entity-entity relation p in the KB, the
+// inverse facts p⁻(o,s) under the predicate IRI formed by appending
+// suffix to p's IRI (e.g. "_inv"). The paper assumes inverse relations
+// have been added to both KBs so that only direct rules need mining.
+// Literal-object facts are skipped (literals cannot be subjects).
+// It returns the number of inverse facts added.
+func (k *KB) AddInverses(suffix string) int {
+	type rev struct{ s, p, o TermID }
+	var pending []rev
+	for _, p := range k.Relations() {
+		pt := k.Term(p)
+		if !pt.IsIRI() {
+			continue
+		}
+		inv := k.Intern(rdf.NewIRI(pt.Value + suffix))
+		k.EachFactOf(p, func(s, o TermID) bool {
+			if k.terms[o].IsLiteral() {
+				return true
+			}
+			pending = append(pending, rev{s: o, p: inv, o: s})
+			return true
+		})
+	}
+	added := 0
+	for _, r := range pending {
+		if k.AddFact(r.s, r.p, r.o) {
+			added++
+		}
+	}
+	return added
+}

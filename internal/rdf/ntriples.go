@@ -1,0 +1,268 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError reports a syntax error while reading N-Triples input.
+type ParseError struct {
+	Line int    // 1-based line number
+	Msg  string // description of the problem
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: line %d: %s", e.Line, e.Msg)
+}
+
+// ReadNTriples parses N-Triples from r and returns the triples in input
+// order. Blank lines and lines starting with '#' are skipped. The parser
+// accepts the canonical N-Triples grammar: IRIs in angle brackets,
+// literals in double quotes with \-escapes and optional @lang or
+// ^^<datatype>, blank nodes as _:label.
+func ReadNTriples(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	err := ScanNTriples(r, func(t Triple) error {
+		out = append(out, t)
+		return nil
+	})
+	return out, err
+}
+
+// ScanNTriples streams triples from r to fn, stopping at the first error
+// (from the input or from fn).
+func ScanNTriples(r io.Reader, fn func(Triple) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			if pe, ok := err.(*ParseError); ok {
+				pe.Line = lineNo
+				return pe
+			}
+			return &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ParseTripleLine parses a single N-Triples statement (with or without
+// the trailing dot).
+func ParseTripleLine(line string) (Triple, error) {
+	p := &ntParser{in: line}
+	p.skipWS()
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	if p.pos < len(p.in) {
+		if p.in[p.pos] == '.' {
+			p.pos++
+			p.skipWS()
+		}
+		if p.pos < len(p.in) {
+			return Triple{}, &ParseError{Msg: fmt.Sprintf("trailing garbage %q", p.in[p.pos:])}
+		}
+	}
+	tr := Triple{S: s, P: pred, O: o}
+	if !tr.Valid() {
+		return Triple{}, &ParseError{Msg: fmt.Sprintf("structurally invalid triple %s", tr)}
+	}
+	return tr, nil
+}
+
+// ParseTerm parses a single term in N-Triples syntax.
+func ParseTerm(s string) (Term, error) {
+	p := &ntParser{in: strings.TrimSpace(s)}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, err
+	}
+	p.skipWS()
+	if p.pos < len(p.in) {
+		return Term{}, &ParseError{Msg: fmt.Sprintf("trailing garbage %q", p.in[p.pos:])}
+	}
+	return t, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) skipWS() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	if p.pos >= len(p.in) {
+		return Term{}, &ParseError{Msg: "unexpected end of statement"}
+	}
+	switch p.in[p.pos] {
+	case '<':
+		return p.iri()
+	case '"':
+		return p.literal()
+	case '_':
+		return p.blank()
+	default:
+		return Term{}, &ParseError{Msg: fmt.Sprintf("unexpected character %q", p.in[p.pos])}
+	}
+}
+
+func (p *ntParser) iri() (Term, error) {
+	end := strings.IndexByte(p.in[p.pos:], '>')
+	if end < 0 {
+		return Term{}, &ParseError{Msg: "unterminated IRI"}
+	}
+	iri := p.in[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	if iri == "" {
+		return Term{}, &ParseError{Msg: "empty IRI"}
+	}
+	return NewIRI(iri), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	if !strings.HasPrefix(p.in[p.pos:], "_:") {
+		return Term{}, &ParseError{Msg: "malformed blank node"}
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.in) && !isTermDelim(p.in[p.pos]) {
+		p.pos++
+	}
+	label := p.in[start:p.pos]
+	if label == "" {
+		return Term{}, &ParseError{Msg: "empty blank node label"}
+	}
+	return NewBlank(label), nil
+}
+
+func isTermDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '.'
+}
+
+func (p *ntParser) literal() (Term, error) {
+	// opening quote
+	p.pos++
+	var sb strings.Builder
+	for {
+		if p.pos >= len(p.in) {
+			return Term{}, &ParseError{Msg: "unterminated literal"}
+		}
+		c := p.in[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			if p.pos+1 >= len(p.in) {
+				return Term{}, &ParseError{Msg: "dangling escape"}
+			}
+			esc := p.in[p.pos+1]
+			p.pos += 2
+			switch esc {
+			case 't':
+				sb.WriteByte('\t')
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'u', 'U':
+				n := 4
+				if esc == 'U' {
+					n = 8
+				}
+				if p.pos+n > len(p.in) {
+					return Term{}, &ParseError{Msg: "truncated unicode escape"}
+				}
+				code, err := strconv.ParseUint(p.in[p.pos:p.pos+n], 16, 32)
+				if err != nil {
+					return Term{}, &ParseError{Msg: "bad unicode escape: " + err.Error()}
+				}
+				if !utf8.ValidRune(rune(code)) {
+					return Term{}, &ParseError{Msg: "escape is not a valid rune"}
+				}
+				sb.WriteRune(rune(code))
+				p.pos += n
+			default:
+				return Term{}, &ParseError{Msg: fmt.Sprintf("unknown escape \\%c", esc)}
+			}
+			continue
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	lex := sb.String()
+	// optional @lang or ^^<datatype>
+	if p.pos < len(p.in) && p.in[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.in) && !isTermDelim(p.in[p.pos]) {
+			p.pos++
+		}
+		lang := p.in[start:p.pos]
+		if lang == "" {
+			return Term{}, &ParseError{Msg: "empty language tag"}
+		}
+		return NewLangLiteral(lex, lang), nil
+	}
+	if strings.HasPrefix(p.in[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.in) || p.in[p.pos] != '<' {
+			return Term{}, &ParseError{Msg: "datatype must be an IRI"}
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+// WriteNTriples serializes triples to w, one statement per line.
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,113 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrefixMap maps namespace prefixes (without the colon) to base IRIs.
+// It expands compact names like "yago:wasBornIn" into full IRIs and
+// compacts full IRIs back to the shortest available qualified name.
+type PrefixMap struct {
+	byPrefix map[string]string
+	// sorted by decreasing base-IRI length so the longest base wins
+	// when compacting.
+	bases []prefixEntry
+}
+
+type prefixEntry struct {
+	prefix, base string
+}
+
+// NewPrefixMap returns an empty prefix map.
+func NewPrefixMap() *PrefixMap {
+	return &PrefixMap{byPrefix: make(map[string]string)}
+}
+
+// StandardPrefixes returns a prefix map preloaded with the namespaces
+// used across this repository: rdf, rdfs, owl, xsd, plus the synthetic
+// yago and dbp namespaces emitted by internal/synth.
+func StandardPrefixes() *PrefixMap {
+	pm := NewPrefixMap()
+	pm.Add("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+	pm.Add("rdfs", "http://www.w3.org/2000/01/rdf-schema#")
+	pm.Add("owl", "http://www.w3.org/2002/07/owl#")
+	pm.Add("xsd", "http://www.w3.org/2001/XMLSchema#")
+	pm.Add("yago", "http://yago-knowledge.org/resource/")
+	pm.Add("dbp", "http://dbpedia.org/property/")
+	pm.Add("dbr", "http://dbpedia.org/resource/")
+	return pm
+}
+
+// Add registers (or replaces) a prefix binding.
+func (pm *PrefixMap) Add(prefix, base string) {
+	if _, ok := pm.byPrefix[prefix]; !ok {
+		pm.bases = append(pm.bases, prefixEntry{prefix, base})
+	} else {
+		for i := range pm.bases {
+			if pm.bases[i].prefix == prefix {
+				pm.bases[i].base = base
+				break
+			}
+		}
+	}
+	pm.byPrefix[prefix] = base
+	sort.SliceStable(pm.bases, func(i, j int) bool {
+		return len(pm.bases[i].base) > len(pm.bases[j].base)
+	})
+}
+
+// Base returns the base IRI bound to prefix, if any.
+func (pm *PrefixMap) Base(prefix string) (string, bool) {
+	b, ok := pm.byPrefix[prefix]
+	return b, ok
+}
+
+// Expand turns a compact name "prefix:local" into a full IRI. Inputs that
+// already look like absolute IRIs (contain "://") are returned unchanged.
+func (pm *PrefixMap) Expand(qname string) (string, error) {
+	if strings.Contains(qname, "://") {
+		return qname, nil
+	}
+	i := strings.IndexByte(qname, ':')
+	if i < 0 {
+		return "", fmt.Errorf("rdf: %q is neither a qualified name nor an absolute IRI", qname)
+	}
+	prefix, local := qname[:i], qname[i+1:]
+	base, ok := pm.byPrefix[prefix]
+	if !ok {
+		return "", fmt.Errorf("rdf: unknown prefix %q in %q", prefix, qname)
+	}
+	return base + local, nil
+}
+
+// MustExpand is Expand but panics on error; for tests and literals in code.
+func (pm *PrefixMap) MustExpand(qname string) string {
+	iri, err := pm.Expand(qname)
+	if err != nil {
+		panic(err)
+	}
+	return iri
+}
+
+// Compact shortens a full IRI to "prefix:local" using the longest
+// matching base. If no base matches, the IRI is returned unchanged.
+func (pm *PrefixMap) Compact(iri string) string {
+	for _, e := range pm.bases {
+		if strings.HasPrefix(iri, e.base) {
+			return e.prefix + ":" + iri[len(e.base):]
+		}
+	}
+	return iri
+}
+
+// Prefixes returns the registered prefixes in deterministic order.
+func (pm *PrefixMap) Prefixes() []string {
+	out := make([]string, 0, len(pm.byPrefix))
+	for p := range pm.byPrefix {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

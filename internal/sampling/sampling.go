@@ -1,0 +1,235 @@
+// Package sampling implements the two instance-sampling strategies of
+// SOFYA §2.2 over SPARQL endpoints:
+//
+//   - Simple Sample Extraction: a pseudo-random sample of subjects of a
+//     candidate relation r_sub in K', restricted to facts whose subject
+//     (and, for entity objects, object) carries a sameAs link into K;
+//     the sampled facts are translated into K identifiers (the set
+//     P^rsub_S) and all r-facts of the translated subjects are fetched
+//     from K, as required by the PCA denominator.
+//
+//   - Unbiased Sample Extraction (UBS): a targeted search for subjects
+//     x with a(x,y1) ∧ b(x,y2) ∧ ¬a(x,y2) over two sibling relations
+//     a, b — exactly the contradiction pattern that exposes (i) wrong
+//     equivalences (r(x,y1) ∧ r(x,y2) both hold in the other KB) and
+//     (ii) wrong subsumptions (r(x,y1) holds but r(x,y2) does not).
+//
+// Both samplers speak only SPARQL against endpoint.Endpoint values and
+// translate entities through a Translator, so they run unchanged against
+// in-process KBs and remote HTTP endpoints.
+package sampling
+
+import (
+	"fmt"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/ilp"
+	"sofya/internal/rdf"
+	"sofya/internal/sameas"
+	"sofya/internal/strsim"
+)
+
+// Translator converts entity IRIs between the two KBs' namespaces.
+type Translator interface {
+	// ToK maps a K'-entity IRI to its K equivalent.
+	ToK(kPrime string) (string, bool)
+	// FromK maps a K-entity IRI to its K' equivalent.
+	FromK(k string) (string, bool)
+}
+
+// LinkView adapts a sameas.Links to a Translator. If KIsA, the link
+// set's A side is the K (head-side) KB; otherwise B is.
+type LinkView struct {
+	Links *sameas.Links
+	KIsA  bool
+}
+
+// ToK implements Translator.
+func (v LinkView) ToK(kPrime string) (string, bool) {
+	if v.KIsA {
+		return v.Links.BtoA(kPrime)
+	}
+	return v.Links.AtoB(kPrime)
+}
+
+// FromK implements Translator.
+func (v LinkView) FromK(k string) (string, bool) {
+	if v.KIsA {
+		return v.Links.AtoB(k)
+	}
+	return v.Links.BtoA(k)
+}
+
+// Flip returns the Translator for the swapped direction.
+func (v LinkView) Flip() LinkView { return LinkView{Links: v.Links, KIsA: !v.KIsA} }
+
+// Validator runs sampling-based validation of candidate rules between a
+// head-side endpoint K and a body-side endpoint KPrime.
+type Validator struct {
+	// K is the endpoint of the source KB (rule heads r).
+	K endpoint.Endpoint
+	// KPrime is the endpoint of the target KB (rule bodies r_sub).
+	KPrime endpoint.Endpoint
+	// Links translates entities between the KBs.
+	Links Translator
+	// Matcher aligns literal objects; nil disables literal alignment.
+	Matcher *strsim.LiteralMatcher
+	// FetchWindow bounds how many candidate facts one sampling query
+	// retrieves before link-filtering (default 40× the sample size).
+	FetchWindow int
+}
+
+// BodyFact is one sampled r_sub fact translated into K space.
+type BodyFact struct {
+	// XPrime, YPrime are the original K' terms.
+	XPrime, YPrime rdf.Term
+	// X is the subject translated into K.
+	X string
+	// Y is the object translated into K: an IRI term for entities, the
+	// original literal for literal objects.
+	Y rdf.Term
+}
+
+// SampleSet is the outcome of Simple Sample Extraction for one
+// candidate: the translated pairs P^rsub_S grouped by subject.
+type SampleSet struct {
+	// Subjects lists the distinct sampled subject IRIs (K space), in
+	// sample order; at most the requested sample size.
+	Subjects []string
+	// Facts holds every translated r_sub fact of the sampled subjects.
+	Facts []BodyFact
+	// SkippedNoLink counts fetched facts dropped for missing sameAs
+	// links (the paper: such facts are ignored, not punished).
+	SkippedNoLink int
+}
+
+func (v *Validator) window(n int) int {
+	if v.FetchWindow > 0 {
+		return v.FetchWindow
+	}
+	w := 40 * n
+	if w < 200 {
+		w = 200
+	}
+	return w
+}
+
+// SampleBody performs Simple Sample Extraction for rsub: it samples up
+// to n subject entities of rsub in K' whose facts translate into K, and
+// returns all their translated rsub facts.
+func (v *Validator) SampleBody(rsub string, n int) (*SampleSet, error) {
+	q := fmt.Sprintf(
+		"SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d",
+		rsub, v.window(n))
+	res, err := v.KPrime.Select(q)
+	if err != nil {
+		return nil, fmt.Errorf("sampling: body sample for <%s>: %w", rsub, err)
+	}
+	set := &SampleSet{}
+	seen := map[string]bool{}
+	factsBySubject := map[string][]BodyFact{}
+	for _, row := range res.Rows {
+		xp, yp := row[0], row[1]
+		if !xp.IsIRI() {
+			continue
+		}
+		x, ok := v.Links.ToK(xp.Value)
+		if !ok {
+			set.SkippedNoLink++
+			continue
+		}
+		var y rdf.Term
+		switch {
+		case yp.IsLiteral():
+			if v.Matcher == nil {
+				set.SkippedNoLink++
+				continue
+			}
+			y = yp
+		case yp.IsIRI():
+			yk, ok := v.Links.ToK(yp.Value)
+			if !ok {
+				set.SkippedNoLink++
+				continue
+			}
+			y = rdf.NewIRI(yk)
+		default:
+			continue
+		}
+		if !seen[xp.Value] {
+			if len(set.Subjects) >= n {
+				continue
+			}
+			seen[xp.Value] = true
+			set.Subjects = append(set.Subjects, x)
+		}
+		factsBySubject[x] = append(factsBySubject[x], BodyFact{XPrime: xp, YPrime: yp, X: x, Y: y})
+	}
+	for _, x := range set.Subjects {
+		set.Facts = append(set.Facts, factsBySubject[x]...)
+	}
+	return set, nil
+}
+
+// HeadObjects fetches every object of r(x, ·) from K — the full r-facts
+// of one sampled subject, as pcaconf requires.
+func (v *Validator) HeadObjects(r, x string) ([]rdf.Term, error) {
+	q := fmt.Sprintf("SELECT ?y WHERE { <%s> <%s> ?y }", x, r)
+	res, err := v.K.Select(q)
+	if err != nil {
+		return nil, fmt.Errorf("sampling: head objects of <%s> for <%s>: %w", r, x, err)
+	}
+	out := make([]rdf.Term, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, row[0])
+	}
+	return out, nil
+}
+
+// SimpleEvidence runs the full Simple Sample Extraction pipeline for the
+// rule rsub ⇒ r with a sample of n subjects and returns the evidence
+// (one PairEvidence per translated rsub fact).
+func (v *Validator) SimpleEvidence(rsub, r string, n int) (*ilp.Evidence, *SampleSet, error) {
+	set, err := v.SampleBody(rsub, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev := &ilp.Evidence{}
+	headObjs := map[string][]rdf.Term{}
+	for _, x := range set.Subjects {
+		objs, err := v.HeadObjects(r, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		headObjs[x] = objs
+	}
+	for _, f := range set.Facts {
+		objs := headObjs[f.X]
+		ev.Add(ilp.PairEvidence{
+			X:              f.X,
+			Y:              f.Y.String(),
+			HeadHolds:      v.objectMatches(f.Y, objs),
+			SubjectHasHead: len(objs) > 0,
+		})
+	}
+	return ev, set, nil
+}
+
+// objectMatches decides whether the translated object y occurs among the
+// head objects: IRI equality for entities, literal matching for
+// literals.
+func (v *Validator) objectMatches(y rdf.Term, objs []rdf.Term) bool {
+	if y.IsLiteral() {
+		if v.Matcher == nil {
+			return false
+		}
+		_, _, ok := v.Matcher.Best(y, objs)
+		return ok
+	}
+	for _, o := range objs {
+		if o == y {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+// Package sparql implements the subset of SPARQL 1.1 that SOFYA's
+// samplers and the endpoint simulation need:
+//
+//	PREFIX declarations
+//	SELECT [DISTINCT] (?v ... | *) WHERE { ... } [ORDER BY ...] [LIMIT n] [OFFSET n]
+//	ASK WHERE { ... }
+//
+// inside WHERE: basic graph patterns (triple patterns joined by '.'),
+// FILTER with comparison/boolean expressions and the builtin functions
+// STR, LANG, DATATYPE, BOUND, ISIRI, ISLITERAL, ISBLANK, SAMETERM, REGEX,
+// CONTAINS, STRSTARTS, STRENDS, STRLEN, LCASE, UCASE, RAND, and
+// FILTER [NOT] EXISTS { ... } sub-patterns.
+//
+// The engine evaluates queries over a kb.KB with index-driven joins and
+// supports deterministic RAND() seeding so that sampling queries are
+// reproducible in tests and benchmarks.
+package sparql
+
+import (
+	"strings"
+
+	"sofya/internal/rdf"
+)
+
+// Form is the query form.
+type Form uint8
+
+const (
+	// SelectForm is a SELECT query producing variable bindings.
+	SelectForm Form = iota
+	// AskForm is an ASK query producing a boolean.
+	AskForm
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form     Form
+	Distinct bool
+	// Vars are the projected variable names (without '?'); empty means
+	// SELECT * (all variables in the pattern, sorted).
+	Vars    []string
+	Where   *GroupPattern
+	OrderBy []OrderKey
+	// Limit is the maximum number of rows, or -1 for no limit.
+	Limit int
+	// Offset is the number of leading rows to skip.
+	Offset int
+}
+
+// GroupPattern is a basic graph pattern plus filters.
+type GroupPattern struct {
+	Triples []TriplePattern
+	Filters []Expr
+}
+
+// AllVars returns the variable names appearing in the triple patterns,
+// sorted, each at most once.
+func (g *GroupPattern) AllVars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(pt PatternTerm) {
+		if pt.IsVar && !seen[pt.Var] {
+			seen[pt.Var] = true
+			out = append(out, pt.Var)
+		}
+	}
+	for _, tp := range g.Triples {
+		add(tp.S)
+		add(tp.P)
+		add(tp.O)
+	}
+	sortStrings(out)
+	return out
+}
+
+// TriplePattern is a triple whose positions may be variables.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+// String renders the pattern in SPARQL-ish syntax, for diagnostics.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String()
+}
+
+// PatternTerm is either a variable or a concrete RDF term.
+type PatternTerm struct {
+	IsVar bool
+	Var   string   // without '?'
+	Term  rdf.Term // valid when !IsVar
+}
+
+// Variable returns a variable pattern term.
+func Variable(name string) PatternTerm { return PatternTerm{IsVar: true, Var: name} }
+
+// Concrete returns a constant pattern term.
+func Concrete(t rdf.Term) PatternTerm { return PatternTerm{Term: t} }
+
+// String renders the pattern term.
+func (pt PatternTerm) String() string {
+	if pt.IsVar {
+		return "?" + pt.Var
+	}
+	return pt.Term.String()
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+func sortStrings(s []string) {
+	// insertion sort; var lists are tiny and this avoids importing sort
+	// in the hot AST path.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && strings.Compare(s[j], s[j-1]) < 0; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

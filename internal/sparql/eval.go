@@ -1,0 +1,569 @@
+package sparql
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+)
+
+// Result is the outcome of evaluating a query.
+type Result struct {
+	// Vars are the projected variable names, in projection order.
+	Vars []string
+	// Rows hold one term per projected variable. A row never contains
+	// zero terms for SELECT results produced by this engine (all
+	// projected variables are bound by the BGP or the row is dropped).
+	Rows [][]rdf.Term
+	// Ask is the boolean answer for ASK queries.
+	Ask bool
+	// Truncated is set by access-limited endpoints when the row cap
+	// cut the result short. The engine itself never sets it.
+	Truncated bool
+}
+
+// Bindings returns row i as a var→term map.
+func (r *Result) Bindings(i int) map[string]rdf.Term {
+	m := make(map[string]rdf.Term, len(r.Vars))
+	for j, v := range r.Vars {
+		m[v] = r.Rows[i][j]
+	}
+	return m
+}
+
+// Column returns the index of variable v in the projection, or -1.
+func (r *Result) Column(v string) int {
+	for i, name := range r.Vars {
+		if name == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Engine evaluates parsed queries against a KB.
+//
+// RAND() is deterministic: each Eval call draws from a PRNG seeded with
+// the engine seed plus an internal call counter, so a fixed call sequence
+// reproduces exactly. Engines are safe for concurrent Eval calls.
+type Engine struct {
+	kb    *kb.KB
+	seed  int64
+	calls atomic.Int64
+}
+
+// NewEngine returns an engine over k with seed 1.
+func NewEngine(k *kb.KB) *Engine { return &Engine{kb: k, seed: 1} }
+
+// NewEngineSeeded returns an engine with an explicit RAND() seed.
+func NewEngineSeeded(k *kb.KB, seed int64) *Engine { return &Engine{kb: k, seed: seed} }
+
+// KB returns the underlying knowledge base.
+func (e *Engine) KB() *kb.KB { return e.kb }
+
+// EvalString parses and evaluates a query.
+func (e *Engine) EvalString(query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(q)
+}
+
+// errStop aborts row enumeration early once LIMIT is satisfied.
+var errStop = errors.New("sparql: enumeration stopped")
+
+// Eval evaluates a parsed query.
+func (e *Engine) Eval(q *Query) (*Result, error) {
+	if q.Where == nil {
+		return nil, fmt.Errorf("sparql: query has no WHERE pattern")
+	}
+	call := e.calls.Add(1)
+	ev := &evaluator{
+		kb:   e.kb,
+		rand: rand.New(rand.NewSource(e.seed*1_000_003 + call)),
+	}
+
+	switch q.Form {
+	case AskForm:
+		found := false
+		err := ev.run(q.Where, nil, func(b binding) error {
+			found = true
+			return errStop
+		})
+		if err != nil && err != errStop {
+			return nil, err
+		}
+		return &Result{Ask: found}, nil
+	case SelectForm:
+		return e.evalSelect(q, ev)
+	default:
+		return nil, fmt.Errorf("sparql: unsupported query form %d", q.Form)
+	}
+}
+
+func (e *Engine) evalSelect(q *Query, ev *evaluator) (*Result, error) {
+	vars := q.Vars
+	res := &Result{Vars: vars}
+
+	type sortableRow struct {
+		row  []rdf.Term
+		keys []Value
+	}
+	var rows []sortableRow
+	seen := map[string]bool{}
+	// fast path: stop enumeration early when ordering cannot change
+	// which rows qualify.
+	earlyStop := len(q.OrderBy) == 0 && q.Limit >= 0
+	target := -1
+	if earlyStop {
+		target = q.Offset + q.Limit
+	}
+
+	err := ev.run(q.Where, nil, func(b binding) error {
+		row := make([]rdf.Term, len(vars))
+		for i, v := range vars {
+			if id, ok := b[v]; ok {
+				row[i] = e.kb.Term(id)
+			} else {
+				// unbound projected variable: drop the row; our BGP
+				// evaluator binds every pattern variable, so this only
+				// happens when the projection names a variable absent
+				// from the pattern.
+				return nil
+			}
+		}
+		if q.Distinct {
+			key := rowKey(row)
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+		}
+		sr := sortableRow{row: row}
+		if len(q.OrderBy) > 0 {
+			sr.keys = make([]Value, len(q.OrderBy))
+			envb := &bindingEnv{ev: ev, b: b}
+			for i, k := range q.OrderBy {
+				sr.keys[i] = k.Expr.eval(envb)
+			}
+		}
+		rows = append(rows, sr)
+		if earlyStop && len(rows) >= target {
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return nil, err
+	}
+
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k := range q.OrderBy {
+				c, ok := valuesOrder(rows[i].keys[k], rows[j].keys[k])
+				if !ok {
+					continue
+				}
+				if c == 0 {
+					continue
+				}
+				if q.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// OFFSET / LIMIT
+	start := q.Offset
+	if start > len(rows) {
+		start = len(rows)
+	}
+	end := len(rows)
+	if q.Limit >= 0 && start+q.Limit < end {
+		end = start + q.Limit
+	}
+	for _, sr := range rows[start:end] {
+		res.Rows = append(res.Rows, sr.row)
+	}
+	return res, nil
+}
+
+func rowKey(row []rdf.Term) string {
+	var sb strings.Builder
+	for _, t := range row {
+		sb.WriteString(t.String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+// binding maps variable names to interned term IDs.
+type binding map[string]kb.TermID
+
+type evaluator struct {
+	kb   *kb.KB
+	rand *rand.Rand
+}
+
+// bindingEnv adapts a binding to the expression env interface.
+type bindingEnv struct {
+	ev *evaluator
+	b  binding
+}
+
+func (be *bindingEnv) lookupVar(name string) (rdf.Term, bool) {
+	id, ok := be.b[name]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	return be.ev.kb.Term(id), true
+}
+
+func (be *bindingEnv) rng() *rand.Rand { return be.ev.rand }
+
+func (be *bindingEnv) evalExists(g *GroupPattern) (bool, error) {
+	found := false
+	err := be.ev.run(g, be.b, func(binding) error {
+		found = true
+		return errStop
+	})
+	if err != nil && err != errStop {
+		return false, err
+	}
+	return found, nil
+}
+
+// planned is a join plan: patterns in execution order with the filters
+// that become evaluable after each step.
+type planned struct {
+	steps        []TriplePattern
+	filtersAfter [][]Expr // same length as steps
+	preFilters   []Expr   // filters with no pattern dependencies
+}
+
+// plan orders patterns greedily: prefer patterns with more positions
+// already concrete/bound; tie-break by smaller relation when the
+// predicate is concrete; then by input order. Filters attach to the
+// first step after which all their variables are bound; EXISTS filters
+// attach to the last step (their inner variables are existential).
+func (ev *evaluator) plan(g *GroupPattern, pre binding) planned {
+	n := len(g.Triples)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	for v := range pre {
+		bound[v] = true
+	}
+	var order []TriplePattern
+
+	boundCount := func(tp TriplePattern) int {
+		c := 0
+		for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+			if !pt.IsVar || bound[pt.Var] {
+				c++
+			}
+		}
+		return c
+	}
+	relSize := func(tp TriplePattern) int {
+		if tp.P.IsVar {
+			return 1 << 30
+		}
+		id := ev.kb.Lookup(tp.P.Term)
+		if id == kb.NoTerm {
+			return 0
+		}
+		return ev.kb.NumFactsOf(id)
+	}
+
+	for len(order) < n {
+		best, bestScore, bestSize := -1, -1, 0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			sc := boundCount(g.Triples[i])
+			sz := relSize(g.Triples[i])
+			if sc > bestScore || (sc == bestScore && sz < bestSize) {
+				best, bestScore, bestSize = i, sc, sz
+			}
+		}
+		used[best] = true
+		tp := g.Triples[best]
+		order = append(order, tp)
+		for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+			if pt.IsVar {
+				bound[pt.Var] = true
+			}
+		}
+	}
+
+	pl := planned{steps: order, filtersAfter: make([][]Expr, n)}
+	// recompute cumulative bound sets along the order
+	cum := make([]map[string]bool, n+1)
+	cum[0] = map[string]bool{}
+	for v := range pre {
+		cum[0][v] = true
+	}
+	for i, tp := range order {
+		next := map[string]bool{}
+		for v := range cum[i] {
+			next[v] = true
+		}
+		for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+			if pt.IsVar {
+				next[pt.Var] = true
+			}
+		}
+		cum[i+1] = next
+	}
+	for _, f := range g.Filters {
+		if _, isExists := f.(exExists); isExists {
+			if n == 0 {
+				pl.preFilters = append(pl.preFilters, f)
+			} else {
+				pl.filtersAfter[n-1] = append(pl.filtersAfter[n-1], f)
+			}
+			continue
+		}
+		deps := exprVars(f)
+		placed := false
+		for i := 0; i <= n && !placed; i++ {
+			all := true
+			for _, d := range deps {
+				if !cum[i][d] {
+					all = false
+					break
+				}
+			}
+			if all {
+				if i == 0 {
+					pl.preFilters = append(pl.preFilters, f)
+				} else {
+					pl.filtersAfter[i-1] = append(pl.filtersAfter[i-1], f)
+				}
+				placed = true
+			}
+		}
+		if !placed {
+			// variables never bound: evaluate at the end (BOUND(?v)
+			// legitimately queries unbound vars).
+			if n == 0 {
+				pl.preFilters = append(pl.preFilters, f)
+			} else {
+				pl.filtersAfter[n-1] = append(pl.filtersAfter[n-1], f)
+			}
+		}
+	}
+	return pl
+}
+
+// exprVars collects the variables mentioned by an expression.
+func exprVars(e Expr) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case exVar:
+			out = append(out, x.name)
+		case exNot:
+			walk(x.arg)
+		case exAnd:
+			walk(x.l)
+			walk(x.r)
+		case exOr:
+			walk(x.l)
+			walk(x.r)
+		case exCompare:
+			walk(x.l)
+			walk(x.r)
+		case exCall:
+			for _, a := range x.args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// run enumerates all bindings of g's pattern extending pre, invoking
+// emit for each. emit returning errStop aborts cleanly.
+func (ev *evaluator) run(g *GroupPattern, pre binding, emit func(binding) error) error {
+	pl := ev.plan(g, pre)
+	b := make(binding, len(pre)+4)
+	for k, v := range pre {
+		b[k] = v
+	}
+	envb := &bindingEnv{ev: ev, b: b}
+	for _, f := range pl.preFilters {
+		ok, valid := f.eval(envb).EBV()
+		if !valid || !ok {
+			return nil
+		}
+	}
+	return ev.join(pl, 0, b, envb, emit)
+}
+
+func (ev *evaluator) join(pl planned, step int, b binding, envb *bindingEnv, emit func(binding) error) error {
+	if step == len(pl.steps) {
+		return emit(b)
+	}
+	tp := pl.steps[step]
+	return ev.matchPattern(tp, b, func(newVars []string) error {
+		for _, f := range pl.filtersAfter[step] {
+			ok, valid := f.eval(envb).EBV()
+			if !valid || !ok {
+				return nil
+			}
+		}
+		return ev.join(pl, step+1, b, envb, emit)
+	}, func(newVars []string) {
+		for _, v := range newVars {
+			delete(b, v)
+		}
+	})
+}
+
+// matchPattern enumerates KB facts matching tp under b, temporarily
+// binding new variables. For each match it calls found with the list of
+// newly-bound variable names, then undo with the same list.
+func (ev *evaluator) matchPattern(tp TriplePattern, b binding,
+	found func(newVars []string) error, undo func(newVars []string)) error {
+
+	resolve := func(pt PatternTerm) (kb.TermID, string, bool) {
+		if !pt.IsVar {
+			id := ev.kb.Lookup(pt.Term)
+			return id, "", true // id may be NoTerm: no matches possible
+		}
+		if id, ok := b[pt.Var]; ok {
+			return id, "", true
+		}
+		return kb.NoTerm, pt.Var, false
+	}
+
+	sID, sVar, sBound := resolve(tp.S)
+	pID, pVar, pBound := resolve(tp.P)
+	oID, oVar, oBound := resolve(tp.O)
+
+	// a concrete term unknown to the KB can never match
+	if (sBound && sID == kb.NoTerm) || (pBound && pID == kb.NoTerm) || (oBound && oID == kb.NoTerm) {
+		return nil
+	}
+
+	// try binds the still-free positions to the candidate fact, checking
+	// duplicate-variable consistency (?x p ?x).
+	try := func(s, p, o kb.TermID) error {
+		var newVars []string
+		bind := func(name string, id kb.TermID) bool {
+			if name == "" {
+				return true
+			}
+			if prev, ok := b[name]; ok {
+				return prev == id
+			}
+			b[name] = id
+			newVars = append(newVars, name)
+			return true
+		}
+		ok := true
+		if !sBound {
+			ok = bind(sVar, s)
+		}
+		if ok && !pBound {
+			ok = bind(pVar, p)
+		}
+		if ok && !oBound {
+			ok = bind(oVar, o)
+		}
+		if !ok {
+			for _, v := range newVars {
+				delete(b, v)
+			}
+			return nil
+		}
+		err := found(newVars)
+		undo(newVars)
+		return err
+	}
+
+	switch {
+	case sBound && pBound && oBound:
+		if ev.kb.HasFact(sID, pID, oID) {
+			return try(sID, pID, oID)
+		}
+		return nil
+	case sBound && pBound:
+		for _, o := range ev.kb.ObjectsOf(sID, pID) {
+			if err := try(sID, pID, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pBound && oBound:
+		for _, s := range ev.kb.SubjectsOf(pID, oID) {
+			if err := try(s, pID, oID); err != nil {
+				return err
+			}
+		}
+		return nil
+	case sBound && oBound:
+		for _, p := range ev.kb.PredicatesBetween(sID, oID) {
+			if err := try(sID, p, oID); err != nil {
+				return err
+			}
+		}
+		return nil
+	case sBound:
+		for _, p := range ev.kb.PredicatesOfSubject(sID) {
+			for _, o := range ev.kb.ObjectsOf(sID, p) {
+				if err := try(sID, p, o); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case pBound:
+		var outerErr error
+		ev.kb.EachFactOf(pID, func(s, o kb.TermID) bool {
+			if err := try(s, pID, o); err != nil {
+				outerErr = err
+				return false
+			}
+			return true
+		})
+		return outerErr
+	case oBound:
+		for _, p := range ev.kb.Relations() {
+			for _, s := range ev.kb.SubjectsOf(p, oID) {
+				if err := try(s, p, oID); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		for _, p := range ev.kb.Relations() {
+			var outerErr error
+			ev.kb.EachFactOf(p, func(s, o kb.TermID) bool {
+				if err := try(s, p, o); err != nil {
+					outerErr = err
+					return false
+				}
+				return true
+			})
+			if outerErr != nil {
+				return outerErr
+			}
+		}
+		return nil
+	}
+}

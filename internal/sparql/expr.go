@@ -1,0 +1,465 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"sofya/internal/rdf"
+)
+
+// Value is the result of evaluating an expression: a boolean, a number,
+// a string, an RDF term, or an evaluation error (which FILTER treats as
+// false, per SPARQL semantics).
+type Value struct {
+	kind uint8
+	b    bool
+	n    float64
+	s    string
+	t    rdf.Term
+}
+
+const (
+	vErr uint8 = iota
+	vBool
+	vNum
+	vStr
+	vTerm
+)
+
+func errValue() Value          { return Value{kind: vErr} }
+func boolValue(b bool) Value   { return Value{kind: vBool, b: b} }
+func numValue(n float64) Value { return Value{kind: vNum, n: n} }
+func strValue(s string) Value  { return Value{kind: vStr, s: s} }
+func termValue(t rdf.Term) Value {
+	return Value{kind: vTerm, t: t}
+}
+
+// IsErr reports whether the value is an evaluation error.
+func (v Value) IsErr() bool { return v.kind == vErr }
+
+// EBV computes the SPARQL effective boolean value. The second result is
+// false when no EBV exists (type error).
+func (v Value) EBV() (bool, bool) {
+	switch v.kind {
+	case vBool:
+		return v.b, true
+	case vNum:
+		return v.n != 0, true
+	case vStr:
+		return v.s != "", true
+	case vTerm:
+		if v.t.Kind != rdf.Literal {
+			return false, false
+		}
+		if f, ok := numericLexical(v.t); ok {
+			return f != 0, true
+		}
+		if v.t.Datatype == rdf.XSDBoolean {
+			return v.t.Value == "true" || v.t.Value == "1", true
+		}
+		return v.t.Value != "", true
+	default:
+		return false, false
+	}
+}
+
+// asNumber attempts numeric coercion.
+func (v Value) asNumber() (float64, bool) {
+	switch v.kind {
+	case vNum:
+		return v.n, true
+	case vTerm:
+		return numericLexical(v.t)
+	default:
+		return 0, false
+	}
+}
+
+// asString attempts string coercion (plain literals, xsd:string, vStr).
+func (v Value) asString() (string, bool) {
+	switch v.kind {
+	case vStr:
+		return v.s, true
+	case vTerm:
+		if v.t.Kind == rdf.Literal {
+			return v.t.Value, true
+		}
+		return "", false
+	default:
+		return "", false
+	}
+}
+
+func numericLexical(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.Literal {
+		return 0, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble, rdf.XSDGYear:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		return f, err == nil
+	case "":
+		// plain literals that look numeric participate in numeric
+		// comparison, which is how YAGO-style TSV dumps behave.
+		f, err := strconv.ParseFloat(t.Value, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// env provides variable lookups during expression evaluation.
+type env interface {
+	lookupVar(name string) (rdf.Term, bool)
+	rng() *rand.Rand
+	evalExists(g *GroupPattern) (bool, error)
+}
+
+// Expr is a parsed SPARQL expression.
+type Expr interface {
+	eval(e env) Value
+	// String renders the expression approximately in SPARQL syntax.
+	String() string
+}
+
+type exVar struct{ name string }
+
+func (x exVar) eval(e env) Value {
+	t, ok := e.lookupVar(x.name)
+	if !ok {
+		return errValue()
+	}
+	return termValue(t)
+}
+func (x exVar) String() string { return "?" + x.name }
+
+type exConst struct{ t rdf.Term }
+
+func (x exConst) eval(env) Value { return termValue(x.t) }
+func (x exConst) String() string { return x.t.String() }
+
+type exNum struct{ n float64 }
+
+func (x exNum) eval(env) Value { return numValue(x.n) }
+func (x exNum) String() string { return strconv.FormatFloat(x.n, 'g', -1, 64) }
+
+type exBool struct{ b bool }
+
+func (x exBool) eval(env) Value { return boolValue(x.b) }
+func (x exBool) String() string { return strconv.FormatBool(x.b) }
+
+type exNot struct{ arg Expr }
+
+func (x exNot) eval(e env) Value {
+	b, ok := x.arg.eval(e).EBV()
+	if !ok {
+		return errValue()
+	}
+	return boolValue(!b)
+}
+func (x exNot) String() string { return "!(" + x.arg.String() + ")" }
+
+type exAnd struct{ l, r Expr }
+
+func (x exAnd) eval(e env) Value {
+	lb, lok := x.l.eval(e).EBV()
+	if lok && !lb {
+		return boolValue(false)
+	}
+	rb, rok := x.r.eval(e).EBV()
+	if rok && !rb {
+		return boolValue(false)
+	}
+	if !lok || !rok {
+		return errValue()
+	}
+	return boolValue(true)
+}
+func (x exAnd) String() string { return "(" + x.l.String() + " && " + x.r.String() + ")" }
+
+type exOr struct{ l, r Expr }
+
+func (x exOr) eval(e env) Value {
+	lb, lok := x.l.eval(e).EBV()
+	if lok && lb {
+		return boolValue(true)
+	}
+	rb, rok := x.r.eval(e).EBV()
+	if rok && rb {
+		return boolValue(true)
+	}
+	if !lok || !rok {
+		return errValue()
+	}
+	return boolValue(false)
+}
+func (x exOr) String() string { return "(" + x.l.String() + " || " + x.r.String() + ")" }
+
+type exCompare struct {
+	op   string // = != < <= > >=
+	l, r Expr
+}
+
+func (x exCompare) eval(e env) Value {
+	lv, rv := x.l.eval(e), x.r.eval(e)
+	if lv.IsErr() || rv.IsErr() {
+		return errValue()
+	}
+	switch x.op {
+	case "=", "!=":
+		eq, ok := valuesEqual(lv, rv)
+		if !ok {
+			return errValue()
+		}
+		if x.op == "!=" {
+			eq = !eq
+		}
+		return boolValue(eq)
+	}
+	c, ok := valuesOrder(lv, rv)
+	if !ok {
+		return errValue()
+	}
+	switch x.op {
+	case "<":
+		return boolValue(c < 0)
+	case "<=":
+		return boolValue(c <= 0)
+	case ">":
+		return boolValue(c > 0)
+	case ">=":
+		return boolValue(c >= 0)
+	}
+	return errValue()
+}
+func (x exCompare) String() string {
+	return "(" + x.l.String() + " " + x.op + " " + x.r.String() + ")"
+}
+
+// valuesEqual implements SPARQL-style equality with numeric coercion.
+func valuesEqual(l, r Value) (bool, bool) {
+	if ln, ok := l.asNumber(); ok {
+		if rn, ok := r.asNumber(); ok {
+			return ln == rn, true
+		}
+	}
+	if ls, ok := l.asString(); ok {
+		if rs, ok := r.asString(); ok {
+			// language tags distinguish literals
+			if l.kind == vTerm && r.kind == vTerm && l.t.Lang != r.t.Lang {
+				return false, true
+			}
+			return ls == rs, true
+		}
+	}
+	if l.kind == vBool && r.kind == vBool {
+		return l.b == r.b, true
+	}
+	if l.kind == vTerm && r.kind == vTerm {
+		return l.t == r.t, true
+	}
+	return false, false
+}
+
+// valuesOrder implements <,> comparisons: numeric if both coercible,
+// else string, else full term order.
+func valuesOrder(l, r Value) (int, bool) {
+	if ln, ok := l.asNumber(); ok {
+		if rn, ok := r.asNumber(); ok {
+			switch {
+			case ln < rn:
+				return -1, true
+			case ln > rn:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+	}
+	if ls, ok := l.asString(); ok {
+		if rs, ok := r.asString(); ok {
+			return strings.Compare(ls, rs), true
+		}
+	}
+	if l.kind == vTerm && r.kind == vTerm {
+		return l.t.Compare(r.t), true
+	}
+	return 0, false
+}
+
+type exCall struct {
+	name string // upper-cased
+	args []Expr
+}
+
+func (x exCall) String() string {
+	parts := make([]string, len(x.args))
+	for i, a := range x.args {
+		parts[i] = a.String()
+	}
+	return x.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (x exCall) eval(e env) Value {
+	switch x.name {
+	case "BOUND":
+		v, ok := x.args[0].(exVar)
+		if !ok {
+			return errValue()
+		}
+		_, bound := e.lookupVar(v.name)
+		return boolValue(bound)
+	case "RAND":
+		return numValue(e.rng().Float64())
+	}
+	// remaining functions evaluate all arguments strictly
+	vals := make([]Value, len(x.args))
+	for i, a := range x.args {
+		vals[i] = a.eval(e)
+		if vals[i].IsErr() {
+			return errValue()
+		}
+	}
+	switch x.name {
+	case "STR":
+		v := vals[0]
+		switch v.kind {
+		case vTerm:
+			return strValue(v.t.Value)
+		case vStr:
+			return strValue(v.s)
+		case vNum:
+			return strValue(strconv.FormatFloat(v.n, 'g', -1, 64))
+		case vBool:
+			return strValue(strconv.FormatBool(v.b))
+		}
+		return errValue()
+	case "LANG":
+		if vals[0].kind == vTerm && vals[0].t.Kind == rdf.Literal {
+			return strValue(vals[0].t.Lang)
+		}
+		return errValue()
+	case "DATATYPE":
+		if vals[0].kind == vTerm && vals[0].t.Kind == rdf.Literal {
+			dt := vals[0].t.Datatype
+			if dt == "" && vals[0].t.Lang == "" {
+				dt = rdf.XSDString
+			}
+			return termValue(rdf.NewIRI(dt))
+		}
+		return errValue()
+	case "ISIRI", "ISURI":
+		return boolValue(vals[0].kind == vTerm && vals[0].t.IsIRI())
+	case "ISLITERAL":
+		return boolValue(vals[0].kind == vTerm && vals[0].t.IsLiteral())
+	case "ISBLANK":
+		return boolValue(vals[0].kind == vTerm && vals[0].t.IsBlank())
+	case "SAMETERM":
+		if vals[0].kind == vTerm && vals[1].kind == vTerm {
+			return boolValue(vals[0].t == vals[1].t)
+		}
+		return errValue()
+	case "REGEX":
+		text, ok1 := vals[0].asString()
+		pat, ok2 := vals[1].asString()
+		if !ok1 || !ok2 {
+			return errValue()
+		}
+		if len(vals) > 2 {
+			flags, _ := vals[2].asString()
+			if strings.Contains(flags, "i") {
+				pat = "(?i)" + pat
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return errValue()
+		}
+		return boolValue(re.MatchString(text))
+	case "CONTAINS":
+		a, ok1 := vals[0].asString()
+		b, ok2 := vals[1].asString()
+		if !ok1 || !ok2 {
+			return errValue()
+		}
+		return boolValue(strings.Contains(a, b))
+	case "STRSTARTS":
+		a, ok1 := vals[0].asString()
+		b, ok2 := vals[1].asString()
+		if !ok1 || !ok2 {
+			return errValue()
+		}
+		return boolValue(strings.HasPrefix(a, b))
+	case "STRENDS":
+		a, ok1 := vals[0].asString()
+		b, ok2 := vals[1].asString()
+		if !ok1 || !ok2 {
+			return errValue()
+		}
+		return boolValue(strings.HasSuffix(a, b))
+	case "STRLEN":
+		a, ok := vals[0].asString()
+		if !ok {
+			return errValue()
+		}
+		return numValue(float64(len([]rune(a))))
+	case "LCASE":
+		a, ok := vals[0].asString()
+		if !ok {
+			return errValue()
+		}
+		return strValue(strings.ToLower(a))
+	case "UCASE":
+		a, ok := vals[0].asString()
+		if !ok {
+			return errValue()
+		}
+		return strValue(strings.ToUpper(a))
+	}
+	return errValue()
+}
+
+// knownFunction reports whether name (upper-cased) is a builtin and its
+// argument-count range.
+func knownFunction(name string) (minArgs, maxArgs int, ok bool) {
+	switch name {
+	case "RAND":
+		return 0, 0, true
+	case "BOUND", "STR", "LANG", "DATATYPE", "ISIRI", "ISURI", "ISLITERAL",
+		"ISBLANK", "STRLEN", "LCASE", "UCASE":
+		return 1, 1, true
+	case "SAMETERM", "CONTAINS", "STRSTARTS", "STRENDS":
+		return 2, 2, true
+	case "REGEX":
+		return 2, 3, true
+	default:
+		return 0, 0, false
+	}
+}
+
+type exExists struct {
+	negate bool
+	group  *GroupPattern
+}
+
+func (x exExists) eval(e env) Value {
+	ok, err := e.evalExists(x.group)
+	if err != nil {
+		return errValue()
+	}
+	if x.negate {
+		ok = !ok
+	}
+	return boolValue(ok)
+}
+
+func (x exExists) String() string {
+	neg := ""
+	if x.negate {
+		neg = "NOT "
+	}
+	return fmt.Sprintf("%sEXISTS {%d patterns}", neg, len(x.group.Triples))
+}

@@ -1,0 +1,102 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String serializes the query back to SPARQL concrete syntax. The
+// output parses back to an equivalent query; formatting is canonical
+// (one triple pattern per line, explicit WHERE).
+func (q *Query) String() string {
+	var sb strings.Builder
+	switch q.Form {
+	case AskForm:
+		sb.WriteString("ASK ")
+	default:
+		sb.WriteString("SELECT ")
+		if q.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		if len(q.Vars) == 0 {
+			sb.WriteString("* ")
+		} else {
+			for _, v := range q.Vars {
+				sb.WriteString("?" + v + " ")
+			}
+		}
+		sb.WriteString("WHERE ")
+	}
+	writeGroup(&sb, q.Where, "")
+	for i, k := range q.OrderBy {
+		if i == 0 {
+			sb.WriteString("\nORDER BY")
+		}
+		if k.Desc {
+			sb.WriteString(" DESC(" + k.Expr.String() + ")")
+		} else {
+			sb.WriteString(" ASC(" + k.Expr.String() + ")")
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, "\nLIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&sb, "\nOFFSET %d", q.Offset)
+	}
+	return sb.String()
+}
+
+func writeGroup(sb *strings.Builder, g *GroupPattern, indent string) {
+	if g == nil {
+		sb.WriteString("{ }")
+		return
+	}
+	sb.WriteString("{\n")
+	for _, tp := range g.Triples {
+		sb.WriteString(indent + "  " + tp.String() + " .\n")
+	}
+	for _, f := range g.Filters {
+		if ex, ok := f.(exExists); ok {
+			if ex.negate {
+				sb.WriteString(indent + "  FILTER NOT EXISTS ")
+			} else {
+				sb.WriteString(indent + "  FILTER EXISTS ")
+			}
+			writeGroup(sb, ex.group, indent+"  ")
+			sb.WriteString("\n")
+			continue
+		}
+		sb.WriteString(indent + "  FILTER (" + f.String() + ")\n")
+	}
+	sb.WriteString(indent + "}")
+}
+
+// MapPatterns returns a deep copy of the query with every triple
+// pattern rewritten through fn. It is the hook the query rewriter uses
+// to substitute aligned relations and translated entities.
+func (q *Query) MapPatterns(fn func(TriplePattern) TriplePattern) *Query {
+	out := *q
+	out.Vars = append([]string(nil), q.Vars...)
+	out.OrderBy = append([]OrderKey(nil), q.OrderBy...)
+	out.Where = mapGroup(q.Where, fn)
+	return &out
+}
+
+func mapGroup(g *GroupPattern, fn func(TriplePattern) TriplePattern) *GroupPattern {
+	if g == nil {
+		return nil
+	}
+	out := &GroupPattern{}
+	for _, tp := range g.Triples {
+		out.Triples = append(out.Triples, fn(tp))
+	}
+	for _, f := range g.Filters {
+		if ex, ok := f.(exExists); ok {
+			out.Filters = append(out.Filters, exExists{negate: ex.negate, group: mapGroup(ex.group, fn)})
+			continue
+		}
+		out.Filters = append(out.Filters, f)
+	}
+	return out
+}

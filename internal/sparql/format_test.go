@@ -1,0 +1,129 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+)
+
+// queries spanning the serializer's surface; each must survive a
+// parse → String → parse round trip and evaluate identically.
+var roundTripQueries = []string{
+	`SELECT ?x ?y WHERE { ?x <http://x/knows> ?y }`,
+	`SELECT DISTINCT ?x WHERE { ?x <http://x/knows> ?y } LIMIT 2 OFFSET 1`,
+	`SELECT ?x WHERE { ?x <http://x/age> ?a . FILTER (?a >= 18) } ORDER BY DESC(?a)`,
+	`SELECT ?x WHERE { ?x <http://x/knows> ?y . FILTER NOT EXISTS { ?y <http://x/knows> ?x } }`,
+	`SELECT ?x WHERE { ?x <http://x/knows> ?y . FILTER EXISTS { ?y <http://x/knows> ?x } }`,
+	`ASK { <http://x/alice> <http://x/knows> <http://x/bob> }`,
+	`SELECT ?x WHERE { ?x <http://x/name> "Alice" }`,
+	`SELECT ?x WHERE { ?x <http://x/name> ?n . FILTER REGEX(STR(?n), "^A", "i") }`,
+	`SELECT ?x ?y WHERE { ?x <http://x/knows> ?y } ORDER BY ?x ?y LIMIT 3`,
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	k := familyKB()
+	for _, src := range roundTripQueries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		serialized := q1.String()
+		q2, err := Parse(serialized)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\nserialized: %s", src, err, serialized)
+		}
+		r1, err := NewEngineSeeded(k, 5).Eval(q1)
+		if err != nil {
+			t.Fatalf("eval original %q: %v", src, err)
+		}
+		r2, err := NewEngineSeeded(k, 5).Eval(q2)
+		if err != nil {
+			t.Fatalf("eval reparsed %q: %v", src, err)
+		}
+		if r1.Ask != r2.Ask || len(r1.Rows) != len(r2.Rows) {
+			t.Fatalf("round trip changed semantics of %q:\n%v\nvs\n%v", src, r1, r2)
+		}
+		for i := range r1.Rows {
+			for j := range r1.Rows[i] {
+				if r1.Rows[i][j] != r2.Rows[i][j] {
+					t.Fatalf("round trip changed row %d of %q", i, src)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryStringSelectStar(t *testing.T) {
+	q := &Query{Form: SelectForm, Where: &GroupPattern{
+		Triples: []TriplePattern{{S: Variable("s"), P: Variable("p"), O: Variable("o")}},
+	}, Limit: -1}
+	s := q.String()
+	if !strings.Contains(s, "SELECT * ") {
+		t.Fatalf("String = %q", s)
+	}
+	if _, err := Parse(s); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}
+
+func TestQueryStringNilWhere(t *testing.T) {
+	q := &Query{Form: AskForm, Limit: -1}
+	if !strings.Contains(q.String(), "{ }") {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestMapPatterns(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE {
+		?x <http://old/p> ?y .
+		FILTER NOT EXISTS { ?x <http://old/q> ?y }
+	}`)
+	mapped := q.MapPatterns(func(tp TriplePattern) TriplePattern {
+		if !tp.P.IsVar {
+			tp.P.Term.Value = strings.Replace(tp.P.Term.Value, "http://old/", "http://new/", 1)
+		}
+		return tp
+	})
+	// original untouched
+	if q.Where.Triples[0].P.Term.Value != "http://old/p" {
+		t.Fatal("MapPatterns mutated the original")
+	}
+	s := mapped.String()
+	if !strings.Contains(s, "http://new/p") || !strings.Contains(s, "http://new/q") {
+		t.Fatalf("mapped = %s", s)
+	}
+	if strings.Contains(s, "http://old/") {
+		t.Fatalf("old IRIs remain: %s", s)
+	}
+}
+
+func TestMapPatternsNilGroup(t *testing.T) {
+	q := &Query{Form: SelectForm, Limit: -1}
+	out := q.MapPatterns(func(tp TriplePattern) TriplePattern { return tp })
+	if out.Where != nil {
+		t.Fatal("nil group should stay nil")
+	}
+}
+
+func TestEvalAfterMapPatternsOnKB(t *testing.T) {
+	// rewriting a predicate points the query at different data
+	k := kb.New("t")
+	k.AddIRIs("http://x/a", "http://x/p", "http://x/b")
+	k.AddIRIs("http://x/a", "http://x/q", "http://x/c")
+	q := MustParse(`SELECT ?y WHERE { <http://x/a> <http://x/p> ?y }`)
+	mapped := q.MapPatterns(func(tp TriplePattern) TriplePattern {
+		if !tp.P.IsVar && tp.P.Term == rdf.NewIRI("http://x/p") {
+			tp.P = Concrete(rdf.NewIRI("http://x/q"))
+		}
+		return tp
+	})
+	res, err := NewEngine(k).Eval(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Value != "http://x/c" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

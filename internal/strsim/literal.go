@@ -1,0 +1,125 @@
+package strsim
+
+import (
+	"strings"
+
+	"sofya/internal/rdf"
+)
+
+// LiteralMatcher decides whether two literals from different KBs denote
+// the same value, per the matching cascade used when aligning
+// entity–literal relations:
+//
+//  1. numeric datatypes (and numeric-looking plain literals) compare by
+//     value within Epsilon;
+//  2. date/gYear datatypes compare by contained year (so "1815-12-10"
+//     matches "1815");
+//  3. everything else compares Normalize()d forms exactly, then by the
+//     configured string similarity against Threshold.
+type LiteralMatcher struct {
+	// Threshold is the minimum similarity for a fuzzy string match.
+	Threshold float64
+	// Epsilon is the tolerance for numeric equality.
+	Epsilon float64
+	// Sim scores two normalized strings; nil means JaroWinkler.
+	Sim func(a, b string) float64
+}
+
+// DefaultMatcher returns a matcher with JaroWinkler ≥ 0.9 and numeric
+// epsilon 1e-9.
+func DefaultMatcher() *LiteralMatcher {
+	return &LiteralMatcher{Threshold: 0.9, Epsilon: 1e-9, Sim: JaroWinkler}
+}
+
+// Match reports whether a and b denote the same value, with the score
+// that justified the decision (1.0 for value-level matches).
+func (m *LiteralMatcher) Match(a, b rdf.Term) (bool, float64) {
+	if a.Kind != rdf.Literal || b.Kind != rdf.Literal {
+		return false, 0
+	}
+	// numeric pass
+	if na, okA := numericValue(a); okA {
+		if nb, okB := numericValue(b); okB {
+			d := na - nb
+			if d < 0 {
+				d = -d
+			}
+			if d <= m.Epsilon {
+				return true, 1
+			}
+			return false, 0
+		}
+	}
+	// date pass: compare years when either side is a date-like datatype
+	if ya, okA := yearOf(a); okA {
+		if yb, okB := yearOf(b); okB {
+			if ya == yb {
+				return true, 1
+			}
+			return false, 0
+		}
+	}
+	// string pass
+	la, lb := Normalize(a.Value), Normalize(b.Value)
+	if la == lb {
+		return la != "", 1
+	}
+	sim := m.simFunc()(la, lb)
+	return sim >= m.Threshold, sim
+}
+
+// Best returns the highest Match score of a against any of bs, with the
+// matched term. ok is false if none reaches the threshold.
+func (m *LiteralMatcher) Best(a rdf.Term, bs []rdf.Term) (best rdf.Term, score float64, ok bool) {
+	for _, b := range bs {
+		if matched, s := m.Match(a, b); matched && s >= score {
+			best, score, ok = b, s, true
+		}
+	}
+	return best, score, ok
+}
+
+func (m *LiteralMatcher) simFunc() func(a, b string) float64 {
+	if m.Sim != nil {
+		return m.Sim
+	}
+	return JaroWinkler
+}
+
+func numericValue(t rdf.Term) (float64, bool) {
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		return ParseNumber(t.Value)
+	case "":
+		// plain literals participate only if fully numeric
+		return ParseNumber(t.Value)
+	default:
+		return 0, false
+	}
+}
+
+// yearOf extracts a 3-4 digit year from date-like literals. It accepts
+// xsd:date, xsd:dateTime, xsd:gYear, and plain literals shaped like
+// ISO dates ("1815-12-10") or bare years.
+func yearOf(t rdf.Term) (string, bool) {
+	dateTyped := t.Datatype == rdf.XSDDate || t.Datatype == rdf.XSDDateTime || t.Datatype == rdf.XSDGYear
+	v := strings.TrimSpace(t.Value)
+	if !dateTyped {
+		// plain literal: only ISO-looking "YYYY-MM-DD" shapes qualify,
+		// to avoid misreading arbitrary numbers as years.
+		if len(v) != 10 || v[4] != '-' || v[7] != '-' {
+			return "", false
+		}
+	}
+	digits := 0
+	for digits < len(v) && v[digits] >= '0' && v[digits] <= '9' {
+		digits++
+	}
+	if digits < 3 || digits > 4 {
+		return "", false
+	}
+	if digits == len(v) || v[digits] == '-' {
+		return v[:digits], true
+	}
+	return "", false
+}

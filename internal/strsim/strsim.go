@@ -1,0 +1,286 @@
+// Package strsim provides the string-similarity machinery SOFYA uses to
+// align entity–literal relations (§2.2 of the paper: "If r_sub is an
+// entity-literal relation, we retrieve from K facts of the samples and
+// apply string similarity functions to align the literals").
+//
+// It implements the classical token- and edit-based measures
+// (Levenshtein, Jaro, Jaro-Winkler, Jaccard, n-gram Dice) plus a
+// datatype-aware LiteralMatcher that short-circuits numeric and date
+// literals through value comparison before falling back to string
+// similarity — which is what makes "1815-12-10" match "10 December 1815".
+package strsim
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b (insertions,
+// deletions, substitutions), operating on runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(curr[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+// DamerauLevenshtein returns the edit distance allowing adjacent
+// transpositions in addition to insertions, deletions and substitutions
+// (the optimal-string-alignment variant).
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev2 := make([]int, len(rb)+1)
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(curr[j-1]+1, prev[j]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < curr[j] {
+					curr[j] = t
+				}
+			}
+		}
+		prev2, prev, curr = prev, curr, prev2
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim normalizes Levenshtein into a similarity in [0,1]:
+// 1 - dist/maxLen. Two empty strings are fully similar.
+func LevenshteinSim(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Jaro returns the Jaro similarity in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := max2(len(ra), len(rb))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatch := make([]bool, len(ra))
+	bMatch := make([]bool, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for j := lo; j < hi; j++ {
+			if bMatch[j] || ra[i] != rb[j] {
+				continue
+			}
+			aMatch[i] = true
+			bMatch[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// transpositions
+	trans := 0
+	j := 0
+	for i := range ra {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix
+// (up to 4 runes), with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// Tokens lower-cases s and splits it on any non-letter/non-digit rune.
+func Tokens(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// JaccardTokens computes |A∩B|/|A∪B| over the token sets of a and b.
+func JaccardTokens(a, b string) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	set := make(map[string]uint8, len(ta)+len(tb))
+	for _, t := range ta {
+		set[t] |= 1
+	}
+	for _, t := range tb {
+		set[t] |= 2
+	}
+	inter, union := 0, 0
+	for _, m := range set {
+		union++
+		if m == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+// NGramDice computes the Dice coefficient over character n-grams
+// (n ≥ 1). Strings shorter than n compare by equality.
+func NGramDice(a, b string, n int) float64 {
+	if n < 1 {
+		n = 2
+	}
+	ga, gb := ngrams(a, n), ngrams(b, n)
+	if len(ga) == 0 && len(gb) == 0 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(ga))
+	for _, g := range ga {
+		counts[g]++
+	}
+	common := 0
+	for _, g := range gb {
+		if counts[g] > 0 {
+			counts[g]--
+			common++
+		}
+	}
+	return 2 * float64(common) / float64(len(ga)+len(gb))
+}
+
+func ngrams(s string, n int) []string {
+	r := []rune(strings.ToLower(s))
+	if len(r) < n {
+		return nil
+	}
+	out := make([]string, 0, len(r)-n+1)
+	for i := 0; i+n <= len(r); i++ {
+		out = append(out, string(r[i:i+n]))
+	}
+	return out
+}
+
+// Normalize lower-cases, trims, and collapses runs of whitespace and
+// punctuation into single spaces — the canonical form compared by the
+// literal matcher's exact pass.
+func Normalize(s string) string {
+	var sb strings.Builder
+	lastSpace := true
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			sb.WriteRune(r)
+			lastSpace = false
+		} else if !lastSpace {
+			sb.WriteByte(' ')
+			lastSpace = true
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func max2(a, b int) int {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// ParseNumber attempts a numeric read of a lexical form, tolerating
+// surrounding whitespace and thousands separators.
+func ParseNumber(s string) (float64, bool) {
+	clean := strings.TrimSpace(strings.ReplaceAll(s, ",", ""))
+	if clean == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(clean, 64)
+	return f, err == nil
+}

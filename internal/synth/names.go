@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Entity classes of the synthetic world.
+type class uint8
+
+const (
+	clPerson class = iota
+	clWork
+	clPlace
+	clOrg
+	numClasses
+)
+
+func (c class) String() string {
+	switch c {
+	case clPerson:
+		return "Person"
+	case clWork:
+		return "Work"
+	case clPlace:
+		return "Place"
+	case clOrg:
+		return "Organization"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Namespace bases mirror the real datasets.
+const (
+	yagoNS = "http://yago-knowledge.org/resource/"
+	dbrNS  = "http://dbpedia.org/resource/"
+	dbpNS  = "http://dbpedia.org/property/"
+)
+
+var firstNames = []string{
+	"Ada", "Blaise", "Clara", "Dmitri", "Edith", "Felix", "Grace",
+	"Henri", "Ingrid", "Jorge", "Klara", "Louis", "Miriam", "Nikola",
+	"Olive", "Pierre", "Quentin", "Rosa", "Stefan", "Talia", "Ursula",
+	"Viktor", "Wanda", "Xavier", "Yara", "Zoltan",
+}
+
+var lastNames = []string{
+	"Arnold", "Bessel", "Curie", "Darwin", "Euler", "Fourier", "Gauss",
+	"Hilbert", "Ito", "Jacobi", "Klein", "Laplace", "Markov", "Noether",
+	"Oresme", "Pascal", "Quine", "Riemann", "Sinatra", "Turing",
+	"Ulam", "Volterra", "Weyl", "Xenakis", "Young", "Zariski",
+}
+
+var workWords = []string{
+	"Nocturne", "Voyage", "Shadow", "River", "Lantern", "Meridian",
+	"Harvest", "Echo", "Cathedral", "Orchard", "Silence", "Mirror",
+	"Garden", "Winter", "Letters", "Atlas", "Requiem", "Horizon",
+}
+
+var placeWords = []string{
+	"Aven", "Brook", "Carres", "Dolm", "Elb", "Fenn", "Gard", "Holm",
+	"Istr", "Jur", "Kovel", "Lund", "Morav", "Nantes", "Orle", "Prag",
+	"Quim", "Ravel", "Sarre", "Tulle",
+}
+
+var placeSuffixes = []string{"berg", "ford", "grad", "holm", "ia", "mont", "stad", "ville", "wick"}
+
+var orgWords = []string{
+	"Northfield", "Meridian", "Atlas", "Cobalt", "Juniper", "Halcyon",
+	"Vanguard", "Pinnacle", "Sterling", "Harbor",
+}
+
+var orgSuffixes = []string{"University", "Institute", "Laboratories", "Industries", "Collective", "Press"}
+
+// entityName produces a deterministic human-readable name for entity i
+// of a class.
+func entityName(c class, i int, rng *rand.Rand) string {
+	switch c {
+	case clPerson:
+		f := firstNames[rng.Intn(len(firstNames))]
+		l := lastNames[rng.Intn(len(lastNames))]
+		return fmt.Sprintf("%s %s %d", f, l, i)
+	case clWork:
+		a := workWords[rng.Intn(len(workWords))]
+		b := workWords[rng.Intn(len(workWords))]
+		return fmt.Sprintf("The %s of the %s %d", a, b, i)
+	case clPlace:
+		return placeWords[rng.Intn(len(placeWords))] + placeSuffixes[rng.Intn(len(placeSuffixes))] + fmt.Sprintf(" %d", i)
+	default:
+		return orgWords[rng.Intn(len(orgWords))] + " " + orgSuffixes[rng.Intn(len(orgSuffixes))] + fmt.Sprintf(" %d", i)
+	}
+}
+
+// yagoEntityIRI renders names YAGO-style: underscores for spaces.
+func yagoEntityIRI(name string) string {
+	return yagoNS + strings.ReplaceAll(name, " ", "_")
+}
+
+// dbpEntityIRI renders names DBpedia-style.
+func dbpEntityIRI(name string) string {
+	return dbrNS + strings.ReplaceAll(name, " ", "_")
+}
+
+// relation-name fragments for auto-generated families, combined
+// deterministically into verbs like "performedIn", "ownedBy".
+var relVerbs = []string{
+	"acted", "advised", "backed", "chaired", "coached", "composed",
+	"curated", "designed", "edited", "endorsed", "financed", "founded",
+	"guided", "hosted", "illustrated", "judged", "launched", "managed",
+	"mentored", "narrated", "organized", "painted", "performed",
+	"produced", "published", "recorded", "restored", "sponsored",
+	"staged", "supervised", "translated", "voiced",
+}
+
+var relSuffixes = []string{"In", "At", "For", "With", "By", "On"}
+
+var dbpSynonymPrefixes = []string{"", "has", "is", "main", "notable", "primary"}
+
+var yagoStylePrefixes = []string{"was", "is", "has", "did"}
+
+// yagoStyleName derives a YAGO-flavored relation name from a canonical
+// verb, e.g. "performedIn3" → "wasPerformedIn3".
+func yagoStyleName(canonical string, rng *rand.Rand) string {
+	p := yagoStylePrefixes[rng.Intn(len(yagoStylePrefixes))]
+	return p + strings.ToUpper(canonical[:1]) + canonical[1:]
+}
+
+// dbpVariantName derives a DBpedia-flavored synonym of a canonical verb:
+// e.g. canonical "birthPlace" stays, "created" → "notableWork", handled
+// by the caller for flagship names; auto families use prefix+verb.
+func dbpVariantName(canonical string, variant int, rng *rand.Rand) string {
+	p := dbpSynonymPrefixes[rng.Intn(len(dbpSynonymPrefixes))]
+	if p == "" {
+		return canonical + fmt.Sprintf("%d", variant)
+	}
+	return p + strings.ToUpper(canonical[:1]) + canonical[1:] + fmt.Sprintf("%d", variant)
+}

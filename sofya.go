@@ -1,0 +1,211 @@
+// Package sofya is the public API of this repository: a from-scratch Go
+// implementation of SOFYA — Semantic On-the-fly Relation Alignment
+// (Koutraki, Preda, Vodislav; EDBT 2016) — together with every substrate
+// it needs: an RDF data model, an indexed triple store, a SPARQL-subset
+// engine, access-restricted and HTTP SPARQL endpoints, a sameAs link
+// registry, string-similarity literal matching, the cwaconf/pcaconf ILP
+// confidence measures, the Simple and Unbiased samplers, a synthetic
+// YAGO/DBpedia evaluation world with gold-standard alignments, and a
+// query rewriter that puts discovered alignments to work at query time.
+//
+// Quick start:
+//
+//	world := sofya.Generate(sofya.TinyWorldSpec())
+//	k := sofya.NewLocalEndpoint(world.Yago, 1)       // source KB K
+//	kp := sofya.NewLocalEndpoint(world.Dbp, 2)       // target KB K'
+//	links := sofya.LinkView{Links: world.Links, KIsA: true}
+//	aligner := sofya.NewAligner(k, kp, links, sofya.UBSConfig())
+//	als, err := aligner.AlignRelation("http://yago-knowledge.org/resource/wasBornIn")
+//
+// The returned alignments carry the paper's confidence measures, UBS
+// contradiction counts, and the equivalence verdict from the
+// double-subsumption test.
+package sofya
+
+import (
+	"io"
+
+	"sofya/internal/core"
+	"sofya/internal/endpoint"
+	"sofya/internal/ilp"
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+	"sofya/internal/rewrite"
+	"sofya/internal/sameas"
+	"sofya/internal/sampling"
+	"sofya/internal/sparql"
+	"sofya/internal/strsim"
+	"sofya/internal/synth"
+)
+
+// Data-model types.
+type (
+	// Term is an RDF term: IRI, literal, or blank node.
+	Term = rdf.Term
+	// Triple is one RDF statement.
+	Triple = rdf.Triple
+	// KB is an in-memory indexed triple store.
+	KB = kb.KB
+)
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return rdf.NewIRI(iri) }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lex string) Term { return rdf.NewLiteral(lex) }
+
+// NewTypedLiteral returns a typed literal term.
+func NewTypedLiteral(lex, datatype string) Term { return rdf.NewTypedLiteral(lex, datatype) }
+
+// NewLangLiteral returns a language-tagged literal term.
+func NewLangLiteral(lex, lang string) Term { return rdf.NewLangLiteral(lex, lang) }
+
+// Common XSD datatype IRIs.
+const (
+	XSDDate    = rdf.XSDDate
+	XSDGYear   = rdf.XSDGYear
+	XSDInteger = rdf.XSDInteger
+)
+
+// NewKB returns an empty knowledge base with the given name.
+func NewKB(name string) *KB { return kb.New(name) }
+
+// LoadKB reads N-Triples into a new KB.
+func LoadKB(name string, r io.Reader) (*KB, error) { return kb.Load(name, r) }
+
+// LoadKBFile reads an N-Triples file into a new KB.
+func LoadKBFile(name, path string) (*KB, error) { return kb.LoadFile(name, path) }
+
+// Endpoint types: SOFYA reaches KBs only through SPARQL endpoints.
+type (
+	// Endpoint is a queryable SPARQL service.
+	Endpoint = endpoint.Endpoint
+	// LocalEndpoint serves an in-process KB, optionally under a Quota.
+	LocalEndpoint = endpoint.Local
+	// Quota models public-endpoint access restrictions.
+	Quota = endpoint.Quota
+	// EndpointStats counts endpoint usage.
+	EndpointStats = endpoint.Stats
+	// SPARQLServer exposes a local endpoint over the SPARQL HTTP
+	// protocol; SPARQLClient consumes one.
+	SPARQLServer = endpoint.Server
+	SPARQLClient = endpoint.Client
+)
+
+// NewLocalEndpoint builds an unrestricted endpoint over k with a
+// deterministic RAND() seed.
+func NewLocalEndpoint(k *KB, seed int64) *LocalEndpoint { return endpoint.NewLocal(k, seed) }
+
+// NewRestrictedEndpoint builds an endpoint with an access quota.
+func NewRestrictedEndpoint(k *KB, seed int64, q Quota) *LocalEndpoint {
+	return endpoint.NewLocalRestricted(k, seed, q)
+}
+
+// NewSPARQLServer wraps a local endpoint for HTTP serving.
+func NewSPARQLServer(local *LocalEndpoint) *SPARQLServer { return endpoint.NewServer(local) }
+
+// NewSPARQLClient builds an Endpoint speaking the SPARQL HTTP protocol.
+func NewSPARQLClient(name, baseURL string) *SPARQLClient {
+	return endpoint.NewClient(name, baseURL, nil)
+}
+
+// SameAs link types.
+type (
+	// Links is a bidirectional sameAs registry between two KBs.
+	Links = sameas.Links
+	// Translator converts entity IRIs between the two KBs.
+	Translator = sampling.Translator
+	// LinkView orients a Links as a Translator: KIsA selects which side
+	// is the head-side KB.
+	LinkView = sampling.LinkView
+)
+
+// NewLinks returns an empty sameAs link registry.
+func NewLinks() *Links { return sameas.New() }
+
+// Aligner types — the paper's contribution.
+type (
+	// Aligner performs on-the-fly relation alignment over endpoints.
+	Aligner = core.Aligner
+	// Config controls sampling, confidence measures, and UBS.
+	Config = core.Config
+	// Alignment is the verdict on one candidate rule r' ⇒ r.
+	Alignment = core.Alignment
+	// Rule is a subsumption hypothesis body(x,y) ⇒ head(x,y).
+	Rule = ilp.Rule
+	// Measure selects pcaconf or cwaconf.
+	Measure = ilp.Measure
+	// LiteralMatcher aligns literal objects across KBs.
+	LiteralMatcher = strsim.LiteralMatcher
+)
+
+// Confidence measures (Equations 1 and 2 of the paper).
+const (
+	PCA = ilp.PCA
+	CWA = ilp.CWA
+)
+
+// NewAligner builds an aligner: k is the source endpoint K (whose
+// relation arrives in a query), kprime the target endpoint K', links
+// the sameAs translator between them.
+func NewAligner(k, kprime Endpoint, links Translator, cfg Config) *Aligner {
+	return core.New(k, kprime, links, cfg)
+}
+
+// DefaultConfig is the pcaconf baseline of Table 1 (τ > 0.3, 10-subject
+// samples).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// CWAConfig is the cwaconf baseline of Table 1 (τ > 0.1).
+func CWAConfig() Config { return core.CWAConfig() }
+
+// UBSConfig is the paper's Unbiased Sample Extraction method.
+func UBSConfig() Config { return core.UBSConfig() }
+
+// AcceptedAlignments filters a result list down to accepted rules.
+func AcceptedAlignments(all []Alignment) []Alignment { return core.Accepted(all) }
+
+// DefaultLiteralMatcher matches literals with Jaro-Winkler ≥ 0.9 plus
+// numeric and date value comparison.
+func DefaultLiteralMatcher() *LiteralMatcher { return strsim.DefaultMatcher() }
+
+// Query rewriting.
+type (
+	// Rewriter rewrites queries posed against K into queries for K'
+	// using discovered alignments.
+	Rewriter = rewrite.Rewriter
+	// Mapping is one relation substitution.
+	Mapping = rewrite.Mapping
+	// Query is a parsed SPARQL query.
+	Query = sparql.Query
+)
+
+// NewRewriter builds a rewriter; links translates entity constants
+// (nil keeps them unchanged).
+func NewRewriter(links Translator) *Rewriter { return rewrite.New(links) }
+
+// ParseQuery parses a SPARQL query with the standard prefixes.
+func ParseQuery(query string) (*Query, error) { return sparql.Parse(query) }
+
+// Synthetic evaluation world.
+type (
+	// World is a generated YAGO/DBpedia pair with gold alignments.
+	World = synth.World
+	// WorldSpec parameterizes world generation.
+	WorldSpec = synth.Spec
+	// GroundTruth is the gold-standard alignment set.
+	GroundTruth = synth.GroundTruth
+	// TruthPair is one gold subsumption.
+	TruthPair = synth.TruthPair
+)
+
+// Generate builds a synthetic world; generation is deterministic in the
+// spec.
+func Generate(spec WorldSpec) *World { return synth.Generate(spec) }
+
+// PaperWorldSpec is the paper-scale world: 92 YAGO relations, 1313
+// DBpedia relations.
+func PaperWorldSpec() WorldSpec { return synth.DefaultSpec() }
+
+// TinyWorldSpec is a small fast world for tests and demos.
+func TinyWorldSpec() WorldSpec { return synth.TinySpec() }
