@@ -305,3 +305,83 @@ func BenchmarkKBLoadNTriples(b *testing.B) {
 		}
 	}
 }
+
+// --- batch alignment: sequential vs parallel over shared caches ---
+
+func benchBatchRelations(b *testing.B) []string {
+	return world(b).Report.YagoRelations
+}
+
+// Baseline for the batch benchmarks: every relation aligned one after
+// another against undecorated endpoints (Parallelism = 1).
+func BenchmarkAlignRelationsSequential(b *testing.B) {
+	w := world(b)
+	rels := benchBatchRelations(b)
+	cfg := core.UBSConfig()
+	cfg.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		k := endpoint.NewLocal(w.Yago, 1)
+		kp := endpoint.NewLocal(w.Dbp, 2)
+		a := core.New(k, kp, sampling.LinkView{Links: w.Links, KIsA: true}, cfg)
+		if _, err := a.AlignRelations(rels); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(k.Stats().Queries+kp.Stats().Queries), "queries/op")
+		}
+	}
+}
+
+// The tentpole configuration: relations aligned concurrently over
+// shared Caching+Coalescing endpoints. Identical output, fewer
+// endpoint queries (reported as queries/op), less wall clock.
+func BenchmarkAlignRelationsParallelShared(b *testing.B) {
+	w := world(b)
+	rels := benchBatchRelations(b)
+	cfg := core.UBSConfig()
+	cfg.Parallelism = 0 // GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		k := endpoint.NewLocal(w.Yago, 1)
+		kp := endpoint.NewLocal(w.Dbp, 2)
+		qk := endpoint.NewCoalescing(endpoint.NewCaching(k, 0))
+		qkp := endpoint.NewCoalescing(endpoint.NewCaching(kp, 0))
+		a := core.New(qk, qkp, sampling.LinkView{Links: w.Links, KIsA: true}, cfg)
+		if _, err := a.AlignRelations(rels); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(k.Stats().Queries+kp.Stats().Queries), "queries/op")
+		}
+	}
+}
+
+// One relation, endpoint decorators only (no batch): measures the
+// decorator overhead on a cold cache.
+func BenchmarkAlignRelationDecorated(b *testing.B) {
+	w := world(b)
+	cfg := core.UBSConfig()
+	for i := 0; i < b.N; i++ {
+		qk := endpoint.NewCoalescing(endpoint.NewCaching(endpoint.NewLocal(w.Yago, 1), 0))
+		qkp := endpoint.NewCoalescing(endpoint.NewCaching(endpoint.NewLocal(w.Dbp, 2), 0))
+		a := core.New(qk, qkp, sampling.LinkView{Links: w.Links, KIsA: true}, cfg)
+		if _, err := a.AlignRelation("http://yago-knowledge.org/resource/directedBy"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The caching decorator on a warm cache: repeated identical queries.
+func BenchmarkCachingEndpointHit(b *testing.B) {
+	w := world(b)
+	ep := endpoint.NewCaching(endpoint.NewLocal(w.Yago, 1), 0)
+	q := `SELECT ?x ?y WHERE { ?x <http://yago-knowledge.org/resource/wasBornIn> ?y } LIMIT 20`
+	if _, err := ep.Select(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ep.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

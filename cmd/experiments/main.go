@@ -23,6 +23,7 @@ func main() {
 		specName = flag.String("spec", "paper", "world size: tiny | paper")
 		which    = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7")
 		markdown = flag.Bool("md", false, "emit markdown tables")
+		parallel = flag.Int("parallel", 0, "aligner worker bound per run (0 = GOMAXPROCS; results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 	start := time.Now()
 	world := synth.Generate(spec)
 	setup := experiments.NewSetup(world)
+	setup.Parallelism = *parallel
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*which, ",") {

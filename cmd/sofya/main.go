@@ -10,7 +10,11 @@
 //
 //	sofya -k yago.nt -kprime dbpedia.nt -links links.tsv -relation <iri>
 //
-// With -all, every relation of the head KB is aligned.
+// With -all, every relation of the head KB is aligned. With -batch,
+// the requested relations align concurrently (bounded by -parallel)
+// over caching+coalescing endpoint decorators, which deduplicate the
+// endpoint traffic the concurrent aligners share; output order and
+// content match the sequential run.
 package main
 
 import (
@@ -39,6 +43,8 @@ func main() {
 		all       = flag.Bool("all", false, "align every relation of K")
 		method    = flag.String("method", "ubs", "method: pca | cwa | ubs")
 		samples   = flag.Int("samples", 10, "sample size (subject entities)")
+		parallel  = flag.Int("parallel", 0, "pipeline worker bound (0 = GOMAXPROCS)")
+		batch     = flag.Bool("batch", false, "align relations concurrently over shared caching+coalescing endpoints")
 		verbose   = flag.Bool("v", false, "trace aligner decisions")
 		rejected  = flag.Bool("rejected", false, "also print rejected candidates")
 	)
@@ -46,6 +52,7 @@ func main() {
 
 	cfg := methodConfig(*method)
 	cfg.SampleSize = *samples
+	cfg.Parallelism = *parallel
 	if *verbose {
 		cfg.Trace = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
@@ -60,7 +67,19 @@ func main() {
 
 	epK := endpoint.NewLocal(k, 1)
 	epKP := endpoint.NewLocal(kp, 2)
-	aligner := core.New(epK, epKP, links, cfg)
+
+	// In batch mode the aligner speaks to decorated endpoints: a
+	// caching layer memoizes identical queries, a coalescing layer on
+	// top singleflights the ones concurrent relations issue together.
+	var qK, qKP endpoint.Endpoint = epK, epKP
+	var cacheK, cacheKP *endpoint.Caching
+	if *batch {
+		cacheK = endpoint.NewCaching(epK, 0)
+		cacheKP = endpoint.NewCaching(epKP, 0)
+		qK = endpoint.NewCoalescing(cacheK)
+		qKP = endpoint.NewCoalescing(cacheKP)
+	}
+	aligner := core.New(qK, qKP, links, cfg)
 
 	var heads []string
 	switch {
@@ -75,12 +94,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, head := range heads {
-		als, err := aligner.AlignRelation(head)
+	var results [][]core.Alignment
+	if *batch {
+		var err error
+		results, err = aligner.AlignRelations(heads)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sofya:", err)
 			os.Exit(1)
 		}
+	} else {
+		for _, head := range heads {
+			als, err := aligner.AlignRelation(head)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sofya:", err)
+				os.Exit(1)
+			}
+			results = append(results, als)
+		}
+	}
+
+	for _, als := range results {
 		for _, al := range als {
 			if !al.Accepted && !*rejected {
 				continue
@@ -100,6 +133,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "# queries: K=%d K'=%d rows: K=%d K'=%d\n",
 		epK.Stats().Queries, epKP.Stats().Queries, epK.Stats().Rows, epKP.Stats().Rows)
+	if *batch {
+		csK, csKP := cacheK.CacheStats(), cacheKP.CacheStats()
+		fmt.Fprintf(os.Stderr, "# cache hits: K=%d/%d K'=%d/%d\n",
+			csK.Hits, csK.Hits+csK.Misses, csKP.Hits, csKP.Hits+csKP.Misses)
+	}
 }
 
 func methodConfig(method string) core.Config {

@@ -1,0 +1,3 @@
+module sofya
+
+go 1.24

@@ -6,6 +6,7 @@ import (
 
 	"sofya/internal/endpoint"
 	"sofya/internal/ilp"
+	"sofya/internal/rdf"
 	"sofya/internal/sampling"
 )
 
@@ -56,6 +57,10 @@ type Alignment struct {
 type Aligner struct {
 	cfg Config
 	val *sampling.Validator
+	// sem admits endpoint-bound stage tasks; its capacity
+	// (Config.Parallelism) is the aligner-wide concurrency bound shared
+	// by every pipeline stage of every concurrently aligning relation.
+	sem chan struct{}
 	// names label the KBs in emitted rules.
 	kName, kPrimeName string
 }
@@ -67,6 +72,7 @@ func New(k, kprime endpoint.Endpoint, links sampling.Translator, cfg Config) *Al
 	cfg = cfg.normalized()
 	return &Aligner{
 		cfg: cfg,
+		sem: make(chan struct{}, cfg.Parallelism),
 		val: &sampling.Validator{
 			K:           k,
 			KPrime:      kprime,
@@ -99,19 +105,55 @@ type candidate struct {
 // AlignRelation finds relations r' of K' with r'(x,y) ⇒ r(x,y), for r a
 // relation IRI of K. It returns every validated candidate (accepted or
 // not), ordered by decreasing confidence.
+//
+// The alignment runs as an explicit pipeline — discover → validate →
+// UBS → equivalence — whose fan-out stages (per-candidate validation,
+// per-sibling-pair contradiction checks, per-rule equivalence tests)
+// execute on a worker pool bounded by Config.Parallelism. Results are
+// collected by index, so the output is identical to the sequential run
+// for deterministic endpoints.
 func (a *Aligner) AlignRelation(r string) ([]Alignment, error) {
 	cands, err := a.discover(r)
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range cands {
+	if err := a.validate(r, cands); err != nil {
+		return nil, err
+	}
+	out, aligns := a.score(r, cands)
+	if a.cfg.UseUBS {
+		if err := a.applyUBS(r, cands, aligns); err != nil {
+			return nil, err
+		}
+	}
+	if a.cfg.CheckEquivalence {
+		if err := a.checkEquivalences(r, out); err != nil {
+			return nil, err
+		}
+	}
+	sortAlignments(out)
+	return out, nil
+}
+
+// validate runs Simple Sample Extraction for every discovered
+// candidate, fanning the per-candidate endpoint work out over the
+// worker pool.
+func (a *Aligner) validate(r string, cands []*candidate) error {
+	return a.runStage(len(cands), func(i int) error {
+		c := cands[i]
 		ev, set, err := a.val.SimpleEvidence(c.rel, r, a.cfg.SampleSize)
 		if err != nil {
-			return nil, fmt.Errorf("core: validating %s ⇒ %s: %w", c.rel, r, err)
+			return fmt.Errorf("core: validating %s ⇒ %s: %w", c.rel, r, err)
 		}
 		c.ev, c.set = ev, set
-	}
+		return nil
+	})
+}
 
+// score turns validated candidates into Alignments and applies the
+// confidence threshold and support gates. Pure computation — no
+// endpoint traffic.
+func (a *Aligner) score(r string, cands []*candidate) ([]Alignment, map[string]*Alignment) {
 	out := make([]Alignment, 0, len(cands))
 	aligns := make(map[string]*Alignment, len(cands))
 	for _, c := range cands {
@@ -131,18 +173,12 @@ func (a *Aligner) AlignRelation(r string) ([]Alignment, error) {
 		out = append(out, al)
 		aligns[c.rel] = &out[len(out)-1]
 	}
+	return out, aligns
+}
 
-	if a.cfg.UseUBS {
-		if err := a.applyUBS(r, cands, aligns); err != nil {
-			return nil, err
-		}
-	}
-	if a.cfg.CheckEquivalence {
-		if err := a.checkEquivalences(r, out); err != nil {
-			return nil, err
-		}
-	}
-
+// sortAlignments orders accepted-first, then by decreasing confidence,
+// then by body IRI.
+func sortAlignments(out []Alignment) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Accepted != out[j].Accepted {
 			return out[i].Accepted
@@ -152,11 +188,22 @@ func (a *Aligner) AlignRelation(r string) ([]Alignment, error) {
 		}
 		return out[i].Rule.Body < out[j].Rule.Body
 	})
-	return out, nil
+}
+
+// discoveryProbe is one K'-side co-occurrence query of the discovery
+// stage: an entity probe (which predicates connect the translated
+// pair?) or, when lit is a literal, a literal scan matched against it.
+type discoveryProbe struct {
+	query string
+	lit   rdf.Term
 }
 
 // discover samples r-facts from K, translates them into K', and
-// collects candidate predicates by co-occurrence.
+// collects candidate predicates by co-occurrence. The sampled facts
+// are first reduced to translatable probes (pure link lookups), then
+// the probes fan out over the worker pool; hit counts merge
+// commutatively, so the result is independent of probe completion
+// order.
 func (a *Aligner) discover(r string) ([]*candidate, error) {
 	window := a.cfg.FetchWindow
 	if window <= 0 {
@@ -166,14 +213,17 @@ func (a *Aligner) discover(r string) ([]*candidate, error) {
 		}
 	}
 	q := fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d", r, window)
+	// the sample query occupies an endpoint like any stage task
+	a.sem <- struct{}{}
 	res, err := a.val.K.Select(q)
+	<-a.sem
 	if err != nil {
 		return nil, fmt.Errorf("core: discovery sample for <%s>: %w", r, err)
 	}
-	hits := map[string]int{}
-	used := 0
+
+	var probes []discoveryProbe
 	for _, row := range res.Rows {
-		if used >= a.cfg.DiscoverySize {
+		if len(probes) >= a.cfg.DiscoverySize {
 			break
 		}
 		x, y := row[0], row[1]
@@ -190,37 +240,53 @@ func (a *Aligner) discover(r string) ([]*candidate, error) {
 			if !ok {
 				continue
 			}
-			used++
-			pq := fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", xp, yp)
-			pres, err := a.val.KPrime.Select(pq)
-			if err != nil {
-				return nil, err
-			}
-			for _, prow := range pres.Rows {
-				if prow[0].IsIRI() {
-					hits[prow[0].Value]++
-				}
-			}
+			probes = append(probes, discoveryProbe{
+				query: fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", xp, yp),
+			})
 		case y.IsLiteral():
 			if a.cfg.Matcher == nil {
 				continue
 			}
-			used++
-			pq := fmt.Sprintf("SELECT ?p ?v WHERE { <%s> ?p ?v . FILTER ISLITERAL(?v) }", xp)
-			pres, err := a.val.KPrime.Select(pq)
-			if err != nil {
-				return nil, err
-			}
-			for _, prow := range pres.Rows {
-				if !prow[0].IsIRI() {
-					continue
-				}
-				if ok, _ := a.cfg.Matcher.Match(y, prow[1]); ok {
-					hits[prow[0].Value]++
-				}
-			}
+			probes = append(probes, discoveryProbe{
+				query: fmt.Sprintf("SELECT ?p ?v WHERE { <%s> ?p ?v . FILTER ISLITERAL(?v) }", xp),
+				lit:   y,
+			})
 		}
 	}
+
+	partial := make([]map[string]int, len(probes))
+	err = a.runStage(len(probes), func(i int) error {
+		p := probes[i]
+		pres, err := a.val.KPrime.Select(p.query)
+		if err != nil {
+			return err
+		}
+		h := map[string]int{}
+		for _, prow := range pres.Rows {
+			if !prow[0].IsIRI() {
+				continue
+			}
+			if p.lit.IsLiteral() {
+				if ok, _ := a.cfg.Matcher.Match(p.lit, prow[1]); ok {
+					h[prow[0].Value]++
+				}
+			} else {
+				h[prow[0].Value]++
+			}
+		}
+		partial[i] = h
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	hits := map[string]int{}
+	for _, h := range partial {
+		for rel, n := range h {
+			hits[rel] += n
+		}
+	}
+
 	cands := make([]*candidate, 0, len(hits))
 	for rel, h := range hits {
 		cands = append(cands, &candidate{rel: rel, hits: h})
@@ -237,7 +303,10 @@ func (a *Aligner) discover(r string) ([]*candidate, error) {
 	return cands, nil
 }
 
-// applyUBS runs both contradiction-search strategies and prunes.
+// applyUBS runs both contradiction-search strategies and prunes. The
+// endpoint-heavy contradiction searches fan out over the worker pool;
+// their results are applied sequentially in pair order, so the
+// aggregated counters and verdicts match the sequential run exactly.
 func (a *Aligner) applyUBS(r string, cands []*candidate, aligns map[string]*Alignment) error {
 	// provisional = accepted so far (confidence+support); only those
 	// are worth the extra queries.
@@ -249,44 +318,75 @@ func (a *Aligner) applyUBS(r string, cands []*candidate, aligns map[string]*Alig
 	}
 
 	if a.cfg.UBSBodySiblings {
+		type bodyPair struct{ rA, rB string }
+		var pairs []bodyPair
 		for i := 0; i < len(provisional); i++ {
 			for j := 0; j < len(provisional); j++ {
-				if i == j {
-					continue
+				if i != j {
+					pairs = append(pairs, bodyPair{provisional[i].rel, provisional[j].rel})
 				}
-				rA, rB := provisional[i].rel, provisional[j].rel
-				res, err := a.val.Contradictions(sampling.BodySide, rA, rB, r, a.cfg.UBSSampleSize)
-				if err != nil {
-					return err
-				}
-				// rows refute rB ⇒ r (subsumption) and r ⇒ rA (reverse)
-				aligns[rB].Contradictions += res.CounterSubsumption()
-				aligns[rB].UBSRows += len(res.Rows)
-				if a.pairRefutes(res.CounterSubsumption(), len(res.Rows)) {
-					aligns[rB].PrunedByUBS = true
-					a.tracef("UBS body-pair (%s, %s) refutes %s ⇒ %s: %d/%d rows",
-						rA, rB, rB, r, res.CounterSubsumption(), len(res.Rows))
-				}
-				aligns[rA].ReverseContradictions += res.CounterReverse()
-				aligns[rA].ReverseUBSRows += len(res.Rows)
-				if a.pairRefutes(res.CounterReverse(), len(res.Rows)) {
-					aligns[rA].ReverseRefuted = true
-				}
+			}
+		}
+		results := make([]*sampling.UBSResult, len(pairs))
+		err := a.runStage(len(pairs), func(k int) error {
+			res, err := a.val.Contradictions(sampling.BodySide, pairs[k].rA, pairs[k].rB, r, a.cfg.UBSSampleSize)
+			if err != nil {
+				return err
+			}
+			results[k] = res
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for k, p := range pairs {
+			res := results[k]
+			rA, rB := p.rA, p.rB
+			// rows refute rB ⇒ r (subsumption) and r ⇒ rA (reverse)
+			aligns[rB].Contradictions += res.CounterSubsumption()
+			aligns[rB].UBSRows += len(res.Rows)
+			if a.pairRefutes(res.CounterSubsumption(), len(res.Rows)) {
+				aligns[rB].PrunedByUBS = true
+				a.tracef("UBS body-pair (%s, %s) refutes %s ⇒ %s: %d/%d rows",
+					rA, rB, rB, r, res.CounterSubsumption(), len(res.Rows))
+			}
+			aligns[rA].ReverseContradictions += res.CounterReverse()
+			aligns[rA].ReverseUBSRows += len(res.Rows)
+			if a.pairRefutes(res.CounterReverse(), len(res.Rows)) {
+				aligns[rA].ReverseRefuted = true
 			}
 		}
 	}
 
 	if a.cfg.UBSHeadSiblings {
-		for _, c := range provisional {
+		type headOutcome struct {
+			siblings []string
+			results  []*sampling.UBSResult
+		}
+		outcomes := make([]headOutcome, len(provisional))
+		err := a.runStage(len(provisional), func(i int) error {
+			c := provisional[i]
 			siblings, err := a.headSiblings(r, c)
 			if err != nil {
 				return err
 			}
-			for _, z := range siblings {
+			results := make([]*sampling.UBSResult, len(siblings))
+			for k, z := range siblings {
 				res, err := a.val.Contradictions(sampling.HeadSide, r, z, c.rel, a.cfg.UBSSampleSize)
 				if err != nil {
 					return err
 				}
+				results[k] = res
+			}
+			outcomes[i] = headOutcome{siblings: siblings, results: results}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, c := range provisional {
+			for k, z := range outcomes[i].siblings {
+				res := outcomes[i].results[k]
 				// rows with check(x,y2) refute c.rel ⇒ r
 				aligns[c.rel].Contradictions += res.CounterReverse()
 				aligns[c.rel].UBSRows += len(res.Rows)
@@ -378,7 +478,9 @@ func (a *Aligner) headSiblings(r string, c *candidate) ([]string, error) {
 }
 
 // checkEquivalences validates the reverse rule r ⇒ r' for accepted
-// alignments through a flipped validator (roles of K and K' swapped).
+// alignments through a flipped validator (roles of K and K' swapped),
+// one worker-pool task per accepted rule. Each task writes only its
+// own Alignment, so no collection step is needed.
 func (a *Aligner) checkEquivalences(r string, out []Alignment) error {
 	flipped := &sampling.Validator{
 		K:           a.val.KPrime,
@@ -387,11 +489,14 @@ func (a *Aligner) checkEquivalences(r string, out []Alignment) error {
 		Matcher:     a.cfg.Matcher,
 		FetchWindow: a.cfg.FetchWindow,
 	}
+	var accepted []int
 	for i := range out {
-		al := &out[i]
-		if !al.Accepted {
-			continue
+		if out[i].Accepted {
+			accepted = append(accepted, i)
 		}
+	}
+	return a.runStage(len(accepted), func(k int) error {
+		al := &out[accepted[k]]
 		ev, _, err := flipped.SimpleEvidence(r, al.Rule.Body, a.cfg.SampleSize)
 		if err != nil {
 			return err
@@ -400,8 +505,8 @@ func (a *Aligner) checkEquivalences(r string, out []Alignment) error {
 		al.Equivalent = al.ReverseConfidence >= a.cfg.Threshold &&
 			ev.Support() >= a.cfg.MinSupport &&
 			!al.ReverseRefuted
-	}
-	return nil
+		return nil
+	})
 }
 
 // flipTranslator swaps the directions of a Translator.
@@ -420,4 +525,3 @@ func Accepted(all []Alignment) []Alignment {
 	}
 	return out
 }
-

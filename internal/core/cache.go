@@ -1,12 +1,19 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"sofya/internal/flight"
+)
 
 // Cache memoizes AlignRelation results so that repeated queries over
 // the same relation — the common case at query time — pay the sampling
-// cost once per session. It is safe for concurrent use.
+// cost once per session. It is safe for concurrent use, and concurrent
+// misses on the same relation are singleflighted: one caller runs the
+// (expensive) alignment while the others wait for its result.
 type Cache struct {
 	aligner *Aligner
+	group   flight.Group[string, cached]
 
 	mu      sync.Mutex
 	results map[string]cached
@@ -33,16 +40,43 @@ func (c *Cache) AlignRelation(r string) ([]Alignment, error) {
 	}
 	c.mu.Unlock()
 
-	als, err := c.aligner.AlignRelation(r)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// a concurrent caller may have stored meanwhile; keep the first
-	// result for determinism.
-	if got, ok := c.results[r]; ok {
-		return got.als, got.err
+	// Miss: compute through the singleflight group so that concurrent
+	// misses on the same relation run one alignment. The computation
+	// stores its outcome (error included) before releasing the waiters;
+	// flightErr is only non-nil if the aligner panicked.
+	got, flightErr, _ := c.group.Do(r, func() (cached, error) {
+		als, err := c.aligner.AlignRelation(r)
+		got := cached{als: als, err: err}
+		c.mu.Lock()
+		c.results[r] = got
+		c.mu.Unlock()
+		return got, nil
+	})
+	if flightErr != nil {
+		return nil, flightErr
 	}
-	c.results[r] = cached{als: als, err: err}
-	return als, err
+	return got.als, got.err
+}
+
+// AlignRelations is the batch variant: it aligns every relation in rs
+// through the cache, scheduling up to the aligner's Parallelism
+// relations concurrently. Cached relations cost nothing, in-flight ones
+// are joined, and the rest compute once each. Results positionally
+// match rs; the first error (in rs order) aborts.
+func (c *Cache) AlignRelations(rs []string) ([][]Alignment, error) {
+	out := make([][]Alignment, len(rs))
+	err := runIndexed(c.aligner.cfg.Parallelism, len(rs), func(i int) error {
+		als, err := c.AlignRelation(rs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = als
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Invalidate drops the cached result for r (all relations when r is

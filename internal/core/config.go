@@ -21,6 +21,8 @@
 package core
 
 import (
+	"runtime"
+
 	"sofya/internal/ilp"
 	"sofya/internal/strsim"
 )
@@ -48,6 +50,17 @@ type Config struct {
 	// FetchWindow bounds the rows fetched by each sampling query before
 	// link filtering; 0 derives it from the sample size.
 	FetchWindow int
+
+	// Parallelism bounds the aligner's total concurrent endpoint work:
+	// every endpoint-bound pipeline task (discovery probes, candidate
+	// validations, UBS sibling checks, equivalence tests) across all
+	// relations an AlignRelations batch has in flight passes through
+	// one shared admission gate of this capacity, so a remote endpoint
+	// never sees more than Parallelism simultaneous queries from one
+	// aligner. 0 or negative selects runtime.GOMAXPROCS(0); 1 forces
+	// serial endpoint access. For deterministic endpoints (fixed Local
+	// seeds), results are identical at every setting.
+	Parallelism int
 
 	// UseUBS enables Unbiased Sample Extraction.
 	UseUBS bool
@@ -155,6 +168,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MinSupport <= 0 {
 		c.MinSupport = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

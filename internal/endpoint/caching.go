@@ -1,0 +1,182 @@
+package endpoint
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"sofya/internal/sparql"
+)
+
+// DefaultCacheSize is the LRU bound used when NewCaching is given a
+// non-positive capacity.
+const DefaultCacheSize = 4096
+
+// CacheStats counts a Caching decorator's activity.
+type CacheStats struct {
+	// Hits and Misses count lookups served from / past the cache.
+	Hits, Misses int
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int
+}
+
+// Caching decorates an Endpoint with an LRU memo of successful SELECT
+// and ASK results, keyed by the exact query text. Identical queries —
+// the dominant traffic of a batch alignment, where many relations probe
+// the same subjects and samples — reach the inner endpoint once.
+//
+// Errors are never cached, so quota rejections and transient failures
+// are retried on the next call. Cached results are shared between
+// callers: treat a returned Result's rows as read-only, exactly as with
+// an undecorated endpoint.
+//
+// Caching assumes the inner endpoint answers a given query identically
+// every time, which Local guarantees (its RAND() streams are derived
+// per query text). It is safe for concurrent use; to also deduplicate
+// concurrent identical misses, stack a Coalescing decorator on top.
+type Caching struct {
+	inner Endpoint
+	max   int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	res sparql.Result
+}
+
+// NewCaching wraps inner with an LRU of at most maxEntries results
+// (DefaultCacheSize when maxEntries <= 0).
+func NewCaching(inner Endpoint, maxEntries int) *Caching {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	return &Caching{
+		inner:   inner,
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Name implements Endpoint.
+func (c *Caching) Name() string { return c.inner.Name() }
+
+// Select implements Endpoint.
+func (c *Caching) Select(query string) (*sparql.Result, error) {
+	return c.SelectCtx(context.Background(), query)
+}
+
+// Ask implements Endpoint.
+func (c *Caching) Ask(query string) (bool, error) {
+	return c.AskCtx(context.Background(), query)
+}
+
+// SelectCtx implements Endpoint.
+func (c *Caching) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
+	if res, ok := c.lookup("S\x00" + query); ok {
+		return res, nil
+	}
+	res, err := c.inner.SelectCtx(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	c.store("S\x00"+query, *res)
+	out := *res
+	return &out, nil
+}
+
+// AskCtx implements Endpoint.
+func (c *Caching) AskCtx(ctx context.Context, query string) (bool, error) {
+	if res, ok := c.lookup("A\x00" + query); ok {
+		return res.Ask, nil
+	}
+	ok, err := c.inner.AskCtx(ctx, query)
+	if err != nil {
+		return false, err
+	}
+	c.store("A\x00"+query, sparql.Result{Ask: ok})
+	return ok, nil
+}
+
+// lookup returns a copy of the cached result and bumps its recency.
+func (c *Caching) lookup(key string) (*sparql.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	return &res, true
+}
+
+// store inserts a successful result, evicting the least recently used
+// entry past the bound. A concurrent duplicate store wins no harm: the
+// inner endpoint answers identical queries identically.
+func (c *Caching) store(key string, res sparql.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// CacheStats returns the decorator's own hit/miss/eviction counters.
+func (c *Caching) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports how many results are currently cached.
+func (c *Caching) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every cached result (counters keep running).
+func (c *Caching) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order = list.New()
+}
+
+// Stats implements StatsReporter by delegating to the inner endpoint,
+// so wrapping keeps the query accounting of the underlying service
+// observable (a zero Stats is reported for non-reporting inners).
+func (c *Caching) Stats() Stats {
+	if sr, ok := c.inner.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
+}
+
+// ResetStats implements StatsReporter.
+func (c *Caching) ResetStats() {
+	if sr, ok := c.inner.(StatsReporter); ok {
+		sr.ResetStats()
+	}
+}
+
+var (
+	_ Endpoint      = (*Caching)(nil)
+	_ StatsReporter = (*Caching)(nil)
+)

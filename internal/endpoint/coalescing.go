@@ -1,0 +1,98 @@
+package endpoint
+
+import (
+	"context"
+	"sync/atomic"
+
+	"sofya/internal/flight"
+	"sofya/internal/sparql"
+)
+
+// Coalescing decorates an Endpoint by singleflighting identical
+// in-flight queries: when several goroutines issue the same query text
+// concurrently, one probe reaches the inner endpoint and every caller
+// receives its result. Together with Caching underneath it gives a
+// batch of concurrent aligners exactly-once endpoint traffic per
+// distinct query.
+//
+// Unlike Caching it remembers nothing: once a query completes, the next
+// identical call probes again. The shared probe is detached from every
+// individual caller's context (context.WithoutCancel), so one caller's
+// cancellation or deadline never poisons the others: each caller stops
+// waiting when its own context ends, while the probe runs to completion
+// for whoever remains. Results are shared between coalesced callers —
+// treat rows as read-only, as with any endpoint.
+type Coalescing struct {
+	inner     Endpoint
+	sel       flight.Group[string, *sparql.Result]
+	ask       flight.Group[string, bool]
+	coalesced atomic.Int64
+}
+
+// NewCoalescing wraps inner with in-flight query deduplication.
+func NewCoalescing(inner Endpoint) *Coalescing {
+	return &Coalescing{inner: inner}
+}
+
+// Name implements Endpoint.
+func (c *Coalescing) Name() string { return c.inner.Name() }
+
+// Select implements Endpoint.
+func (c *Coalescing) Select(query string) (*sparql.Result, error) {
+	return c.SelectCtx(context.Background(), query)
+}
+
+// Ask implements Endpoint.
+func (c *Coalescing) Ask(query string) (bool, error) {
+	return c.AskCtx(context.Background(), query)
+}
+
+// SelectCtx implements Endpoint.
+func (c *Coalescing) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
+	res, err, shared := c.sel.DoCtx(ctx, query, func() (*sparql.Result, error) {
+		return c.inner.SelectCtx(context.WithoutCancel(ctx), query)
+	})
+	if shared {
+		c.coalesced.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := *res
+	return &out, nil
+}
+
+// AskCtx implements Endpoint.
+func (c *Coalescing) AskCtx(ctx context.Context, query string) (bool, error) {
+	ok, err, shared := c.ask.DoCtx(ctx, query, func() (bool, error) {
+		return c.inner.AskCtx(context.WithoutCancel(ctx), query)
+	})
+	if shared {
+		c.coalesced.Add(1)
+	}
+	return ok, err
+}
+
+// Coalesced reports how many calls were served by another caller's
+// in-flight query instead of probing the inner endpoint.
+func (c *Coalescing) Coalesced() int64 { return c.coalesced.Load() }
+
+// Stats implements StatsReporter by delegating to the inner endpoint.
+func (c *Coalescing) Stats() Stats {
+	if sr, ok := c.inner.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
+}
+
+// ResetStats implements StatsReporter.
+func (c *Coalescing) ResetStats() {
+	if sr, ok := c.inner.(StatsReporter); ok {
+		sr.ResetStats()
+	}
+}
+
+var (
+	_ Endpoint      = (*Coalescing)(nil)
+	_ StatsReporter = (*Coalescing)(nil)
+)

@@ -1,0 +1,393 @@
+package endpoint
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sofya/internal/sparql"
+)
+
+// gatedEndpoint wraps a Local, counting the calls that reach it and
+// optionally holding them on a gate so a test can pile up concurrent
+// callers deterministically.
+type gatedEndpoint struct {
+	*Local
+	selects atomic.Int64
+	asks    atomic.Int64
+	gate    chan struct{} // nil = open
+}
+
+func (g *gatedEndpoint) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
+	g.selects.Add(1)
+	if g.gate != nil {
+		<-g.gate
+	}
+	return g.Local.SelectCtx(ctx, query)
+}
+
+func (g *gatedEndpoint) AskCtx(ctx context.Context, query string) (bool, error) {
+	g.asks.Add(1)
+	if g.gate != nil {
+		<-g.gate
+	}
+	return g.Local.AskCtx(ctx, query)
+}
+
+func (g *gatedEndpoint) Select(query string) (*sparql.Result, error) {
+	return g.SelectCtx(context.Background(), query)
+}
+
+func (g *gatedEndpoint) Ask(query string) (bool, error) {
+	return g.AskCtx(context.Background(), query)
+}
+
+const (
+	selP  = `SELECT ?x ?y WHERE { ?x <http://x/p> ?y }`
+	selPX = `SELECT ?y WHERE { <http://x/a> <http://x/p> ?y }`
+	askAB = `ASK { <http://x/a> <http://x/p> <http://x/b> }`
+)
+
+func TestCachingMemoizesSelectAndAsk(t *testing.T) {
+	inner := &gatedEndpoint{Local: NewLocal(testKB(), 1)}
+	c := NewCaching(inner, 0)
+	if c.Name() != "test" {
+		t.Fatalf("name = %q", c.Name())
+	}
+
+	first, err := c.Select(selP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Select(selP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.selects.Load() != 1 {
+		t.Fatalf("inner selects = %d, want 1", inner.selects.Load())
+	}
+	if len(first.Rows) != len(second.Rows) {
+		t.Fatal("cached result differs")
+	}
+
+	for i := 0; i < 3; i++ {
+		ok, err := c.Ask(askAB)
+		if err != nil || !ok {
+			t.Fatalf("ask = %v, %v", ok, err)
+		}
+	}
+	if inner.asks.Load() != 1 {
+		t.Fatalf("inner asks = %d, want 1", inner.asks.Load())
+	}
+
+	cs := c.CacheStats()
+	if cs.Hits != 3 || cs.Misses != 2 {
+		t.Fatalf("cache stats = %+v", cs)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// the delegated endpoint stats still see only the real traffic
+	if c.Stats().Queries != 2 {
+		t.Fatalf("delegated stats = %+v", c.Stats())
+	}
+
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatal("Purge left entries")
+	}
+	if _, err := c.Select(selP); err != nil {
+		t.Fatal(err)
+	}
+	if inner.selects.Load() != 2 {
+		t.Fatal("purged entry not recomputed")
+	}
+}
+
+func TestCachingLRUEviction(t *testing.T) {
+	inner := &gatedEndpoint{Local: NewLocal(testKB(), 1)}
+	c := NewCaching(inner, 2)
+
+	queries := []string{selP, selPX, askAB}
+	if _, err := c.Select(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Select(queries[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ask(queries[2]); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want LRU bound 2", c.Len())
+	}
+	if c.CacheStats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.CacheStats().Evictions)
+	}
+	// queries[0] was the least recently used → re-fetched
+	before := inner.selects.Load()
+	if _, err := c.Select(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if inner.selects.Load() != before+1 {
+		t.Fatal("evicted entry served from cache")
+	}
+}
+
+func TestCachingDoesNotCacheErrors(t *testing.T) {
+	local := NewLocalRestricted(testKB(), 1, Quota{MaxQueries: 1})
+	c := NewCaching(local, 0)
+	if _, err := c.Select(selP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Select(selPX); err == nil {
+		t.Fatal("want quota error")
+	}
+	// the failed query must not be memoized: lift the quota and retry
+	local.SetQuota(Quota{})
+	if _, err := c.Select(selPX); err != nil {
+		t.Fatalf("error was cached: %v", err)
+	}
+}
+
+func TestCachingConcurrent(t *testing.T) {
+	inner := &gatedEndpoint{Local: NewLocal(testKB(), 1)}
+	c := NewCaching(inner, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				q := fmt.Sprintf(`SELECT ?y WHERE { <http://x/a> <http://x/p%d> ?y }`, j%12)
+				if _, err := c.Select(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	cs := c.CacheStats()
+	if cs.Hits+cs.Misses != 8*40 {
+		t.Fatalf("stats lost lookups: %+v", cs)
+	}
+	if c.Len() > 8 {
+		t.Fatalf("Len = %d exceeds bound", c.Len())
+	}
+}
+
+func TestCoalescingSharesInFlightQueries(t *testing.T) {
+	inner := &gatedEndpoint{Local: NewLocal(testKB(), 1), gate: make(chan struct{})}
+	c := NewCoalescing(inner)
+	if c.Name() != "test" {
+		t.Fatalf("name = %q", c.Name())
+	}
+
+	const n = 10
+	var wg sync.WaitGroup
+	rows := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Select(selP)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rows[i] = len(res.Rows)
+		}(i)
+	}
+	// wait until the leader holds the gate and every follower has
+	// joined its flight, then release
+	for inner.selects.Load() == 0 || c.sel.Waiting(selP) < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.gate)
+	wg.Wait()
+
+	if got := inner.selects.Load(); got != 1 {
+		t.Fatalf("inner selects = %d, want 1 (coalesced)", got)
+	}
+	if c.Coalesced() != n-1 {
+		t.Fatalf("coalesced = %d, want %d", c.Coalesced(), n-1)
+	}
+	for i, r := range rows {
+		if r != 3 {
+			t.Fatalf("caller %d rows = %d", i, r)
+		}
+	}
+	// after completion the flight is forgotten: next call probes again
+	if _, err := c.Select(selP); err != nil {
+		t.Fatal(err)
+	}
+	if inner.selects.Load() != 2 {
+		t.Fatal("coalescer memoized a completed query")
+	}
+}
+
+// One caller's cancellation must not poison the coalesced probe: the
+// shared inner call is detached from individual caller contexts.
+func TestCoalescingLeaderCancellationDoesNotPoisonWaiters(t *testing.T) {
+	inner := &gatedEndpoint{Local: NewLocal(testKB(), 1), gate: make(chan struct{})}
+	c := NewCoalescing(inner)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	initiatorErr := make(chan error, 1)
+	go func() {
+		_, err := c.SelectCtx(ctx, selP)
+		initiatorErr <- err
+	}()
+	for inner.selects.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	followerRows := make(chan int, 1)
+	followerErr := make(chan error, 1)
+	go func() {
+		res, err := c.Select(selP)
+		if err != nil {
+			followerErr <- err
+			return
+		}
+		followerRows <- len(res.Rows)
+	}()
+	for c.sel.Waiting(selP) < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if err := <-initiatorErr; err != context.Canceled {
+		t.Fatalf("canceled initiator err = %v", err)
+	}
+	close(inner.gate)
+	select {
+	case rows := <-followerRows:
+		if rows != 3 {
+			t.Fatalf("follower rows = %d", rows)
+		}
+	case err := <-followerErr:
+		t.Fatalf("follower poisoned by initiator's cancellation: %v", err)
+	case <-time.After(time.Second):
+		t.Fatal("follower hung")
+	}
+	if inner.selects.Load() != 1 {
+		t.Fatalf("inner selects = %d, want 1", inner.selects.Load())
+	}
+}
+
+func TestCoalescingAsk(t *testing.T) {
+	inner := &gatedEndpoint{Local: NewLocal(testKB(), 1)}
+	c := NewCoalescing(inner)
+	ok, err := c.Ask(askAB)
+	if err != nil || !ok {
+		t.Fatalf("ask = %v, %v", ok, err)
+	}
+	if c.Stats().Queries != 1 {
+		t.Fatalf("delegated stats = %+v", c.Stats())
+	}
+}
+
+func TestStackedDecoratorsExactlyOnceTraffic(t *testing.T) {
+	inner := &gatedEndpoint{Local: NewLocal(testKB(), 1)}
+	ep := NewCoalescing(NewCaching(inner, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := ep.Select(selP); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ep.Select(selPX); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 2 distinct queries → at most 2 probes (coalescing may even merge
+	// the initial races down to exactly one per query)
+	if got := inner.selects.Load(); got > 2 {
+		t.Fatalf("inner selects = %d, want ≤ 2", got)
+	}
+}
+
+func TestLocalSelectCtxCancellation(t *testing.T) {
+	ep := NewLocalRestricted(testKB(), 1, Quota{Latency: 200 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ep.SelectCtx(ctx, selP)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 150*time.Millisecond {
+		t.Fatal("cancellation did not cut the latency sleep short")
+	}
+
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := ep.SelectCtx(canceled, selP); err != context.Canceled {
+		t.Fatalf("pre-canceled ctx: err = %v", err)
+	}
+	if ok, err := ep.AskCtx(canceled, askAB); ok || err != context.Canceled {
+		t.Fatalf("pre-canceled ask: %v, %v", ok, err)
+	}
+}
+
+func TestLocalConcurrentIdenticalResults(t *testing.T) {
+	ep := NewLocal(testKB(), 3)
+	q := `SELECT ?x ?y WHERE { ?x <http://x/p> ?y } ORDER BY RAND()`
+	want, err := NewLocal(testKB(), 3).Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				got, err := ep.Select(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for r := range want.Rows {
+					if got.Rows[r][0] != want.Rows[r][0] {
+						t.Errorf("row %d diverged under concurrency", r)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ep.Stats().Queries != 8*25 {
+		t.Fatalf("stats lost queries: %+v", ep.Stats())
+	}
+}
+
+func TestClientSelectCtx(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewLocal(testKB(), 1)))
+	defer srv.Close()
+	c := NewClient("test", srv.URL, srv.Client())
+	res, err := c.SelectCtx(context.Background(), selP)
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SelectCtx(ctx, selP); err == nil {
+		t.Fatal("canceled ctx did not fail the HTTP exchange")
+	}
+}

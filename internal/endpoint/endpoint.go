@@ -10,12 +10,21 @@
 //   - Server / Client speak the SPARQL 1.1 protocol over HTTP with
 //     application/sparql-results+json bodies, so the alignment pipeline
 //     can run against a genuinely remote KB.
+//   - Caching and Coalescing are composable decorators for concurrent
+//     alignment pipelines: Caching memoizes successful results under an
+//     LRU bound, Coalescing singleflights identical in-flight queries
+//     so concurrent aligners share one probe.
+//
+// Every endpoint offers context-aware methods (SelectCtx / AskCtx) for
+// cancellation and deadlines; Select / Ask are the background-context
+// convenience forms.
 //
 // All endpoints record Stats, which the experiments use to report the
 // number of queries and rows each alignment consumed (experiment E4).
 package endpoint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,6 +46,10 @@ type Endpoint interface {
 	Select(query string) (*sparql.Result, error)
 	// Ask runs an ASK query.
 	Ask(query string) (bool, error)
+	// SelectCtx is Select honoring ctx for cancellation and deadlines.
+	SelectCtx(ctx context.Context, query string) (*sparql.Result, error)
+	// AskCtx is Ask honoring ctx for cancellation and deadlines.
+	AskCtx(ctx context.Context, query string) (bool, error)
 }
 
 // StatsReporter is implemented by endpoints that track access statistics.
@@ -134,11 +147,26 @@ func (l *Local) admit() error {
 
 // Select implements Endpoint.
 func (l *Local) Select(query string) (*sparql.Result, error) {
+	return l.SelectCtx(context.Background(), query)
+}
+
+// Ask implements Endpoint.
+func (l *Local) Ask(query string) (bool, error) {
+	return l.AskCtx(context.Background(), query)
+}
+
+// SelectCtx implements Endpoint. The context is checked before the
+// query is admitted and while simulated latency elapses; evaluation
+// itself is in-process and fast, so it is not interruptible.
+func (l *Local) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := l.admit(); err != nil {
 		return nil, err
 	}
-	if l.quota.Latency > 0 {
-		time.Sleep(l.quota.Latency)
+	if err := sleepCtx(ctx, l.latency()); err != nil {
+		return nil, err
 	}
 	q, err := sparql.Parse(query)
 	if err != nil {
@@ -162,13 +190,16 @@ func (l *Local) Select(query string) (*sparql.Result, error) {
 	return res, nil
 }
 
-// Ask implements Endpoint.
-func (l *Local) Ask(query string) (bool, error) {
+// AskCtx implements Endpoint.
+func (l *Local) AskCtx(ctx context.Context, query string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if err := l.admit(); err != nil {
 		return false, err
 	}
-	if l.quota.Latency > 0 {
-		time.Sleep(l.quota.Latency)
+	if err := sleepCtx(ctx, l.latency()); err != nil {
+		return false, err
 	}
 	q, err := sparql.Parse(query)
 	if err != nil {
@@ -182,6 +213,28 @@ func (l *Local) Ask(query string) (bool, error) {
 		return false, err
 	}
 	return res.Ask, nil
+}
+
+func (l *Local) latency() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.quota.Latency
+}
+
+// sleepCtx sleeps for d, returning early with ctx.Err() if the context
+// ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 var (

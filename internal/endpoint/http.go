@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -124,9 +125,14 @@ func NewClient(name, baseURL string, httpc *http.Client) *Client {
 // Name implements Endpoint.
 func (c *Client) Name() string { return c.name }
 
-func (c *Client) roundTrip(query string) (*sparql.Result, error) {
+func (c *Client) roundTrip(ctx context.Context, query string) (*sparql.Result, error) {
 	form := url.Values{"query": {query}}
-	resp, err := c.httpc.PostForm(c.baseURL, form)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL, strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -147,12 +153,22 @@ func (c *Client) roundTrip(query string) (*sparql.Result, error) {
 
 // Select implements Endpoint.
 func (c *Client) Select(query string) (*sparql.Result, error) {
-	return c.roundTrip(query)
+	return c.SelectCtx(context.Background(), query)
 }
 
 // Ask implements Endpoint.
 func (c *Client) Ask(query string) (bool, error) {
-	res, err := c.roundTrip(query)
+	return c.AskCtx(context.Background(), query)
+}
+
+// SelectCtx implements Endpoint; the context cancels the HTTP exchange.
+func (c *Client) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
+	return c.roundTrip(ctx, query)
+}
+
+// AskCtx implements Endpoint.
+func (c *Client) AskCtx(ctx context.Context, query string) (bool, error) {
+	res, err := c.roundTrip(ctx, query)
 	if err != nil {
 		return false, err
 	}

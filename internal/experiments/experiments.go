@@ -55,6 +55,10 @@ type DirectionRun struct {
 type Setup struct {
 	World *synth.World
 	Seed  int64
+	// Parallelism overrides Config.Parallelism for every run when > 0.
+	// Results are identical at any setting (the endpoints are seeded
+	// Locals); only the wall clock changes.
+	Parallelism int
 }
 
 // NewSetup wraps a world with the default seed.
@@ -72,6 +76,9 @@ func goldOf(pairs []synth.TruthPair) *eval.Gold {
 // Run aligns all head relations of the direction under cfg.
 func (s *Setup) Run(dir Direction, cfg core.Config) (*DirectionRun, error) {
 	w := s.World
+	if s.Parallelism > 0 {
+		cfg.Parallelism = s.Parallelism
+	}
 	var (
 		k, kp *endpoint.Local
 		heads []string
@@ -94,11 +101,11 @@ func (s *Setup) Run(dir Direction, cfg core.Config) (*DirectionRun, error) {
 	}
 	aligner := core.New(k, kp, links, cfg)
 	run := &DirectionRun{Direction: dir, Gold: gold}
-	for _, h := range heads {
-		als, err := aligner.AlignRelation(h)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: aligning %s (%s): %w", h, dir, err)
-		}
+	results, err := aligner.AlignRelations(heads)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: aligning (%s): %w", dir, err)
+	}
+	for _, als := range results {
 		run.All = append(run.All, als...)
 		run.HeadsAligned++
 	}

@@ -41,7 +41,7 @@ func TestConfidenceMeasuresPaperShapes(t *testing.T) {
 		e.Add(PairEvidence{X: "x", Y: "y", HeadHolds: true})
 	}
 	e.Add(PairEvidence{X: "x8", Y: "y8", SubjectHasHead: true}) // PCA counter-example
-	e.Add(PairEvidence{X: "x9", Y: "y9"})                      // unknown subject: CWA-only counter-example
+	e.Add(PairEvidence{X: "x9", Y: "y9"})                       // unknown subject: CWA-only counter-example
 	e.Add(PairEvidence{X: "x10", Y: "y10"})
 
 	if e.Total() != 10 || e.Support() != 7 || e.PCADenominator() != 8 {

@@ -80,7 +80,7 @@ func TestTripleValidAndString(t *testing.T) {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
 	bad := []Triple{
-		{},                                        // all zero
+		{}, // all zero
 		{S: NewLiteral("s"), P: NewIRI("http://p"), O: NewIRI("http://o")}, // literal subject
 		{S: NewIRI("http://s"), P: NewLiteral("p"), O: NewIRI("http://o")}, // literal predicate
 		{S: NewIRI("http://s"), P: NewBlank("b"), O: NewIRI("http://o")},   // blank predicate

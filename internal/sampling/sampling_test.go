@@ -38,8 +38,8 @@ func paperWorld() (*kb.KB, *kb.KB, *sameas.Links) {
 	// producers.
 	for i := 0; i < 6; i++ {
 		n := string(rune('0' + i))
-		link("comp" + n)  // compositions
-		link("book" + n)  // books
+		link("comp" + n) // compositions
+		link("book" + n) // books
 		link("movie" + n)
 		link("dirP" + n)
 		link("prodP" + n)

@@ -3,10 +3,11 @@ package sparql
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/rand"
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"sofya/internal/kb"
 	"sofya/internal/rdf"
@@ -48,13 +49,17 @@ func (r *Result) Column(v string) int {
 
 // Engine evaluates parsed queries against a KB.
 //
-// RAND() is deterministic: each Eval call draws from a PRNG seeded with
-// the engine seed plus an internal call counter, so a fixed call sequence
-// reproduces exactly. Engines are safe for concurrent Eval calls.
+// An Engine is stateless apart from its KB and seed, so it is safe for
+// concurrent Eval calls. RAND() is deterministic and order-independent:
+// each Eval draws from a PRNG derived from the engine seed and a
+// fingerprint of the query text, so a given query sees the same random
+// stream under a given seed no matter which other queries ran before
+// or are running concurrently. This is what lets caching and
+// coalescing endpoint decorators, and parallel aligners, reproduce the
+// sequential results byte for byte.
 type Engine struct {
-	kb    *kb.KB
-	seed  int64
-	calls atomic.Int64
+	kb   *kb.KB
+	seed int64
 }
 
 // NewEngine returns an engine over k with seed 1.
@@ -83,11 +88,7 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 	if q.Where == nil {
 		return nil, fmt.Errorf("sparql: query has no WHERE pattern")
 	}
-	call := e.calls.Add(1)
-	ev := &evaluator{
-		kb:   e.kb,
-		rand: rand.New(rand.NewSource(e.seed*1_000_003 + call)),
-	}
+	ev := &evaluator{kb: e.kb, seed: e.seed, query: q}
 
 	switch q.Form {
 	case AskForm:
@@ -210,8 +211,22 @@ func rowKey(row []rdf.Term) string {
 type binding map[string]kb.TermID
 
 type evaluator struct {
-	kb   *kb.KB
-	rand *rand.Rand
+	kb    *kb.KB
+	seed  int64
+	query *Query
+	rand  *rand.Rand
+}
+
+// rng returns the evaluator's PRNG, built on first use from the engine
+// seed and a fingerprint of the query text. Queries that never call
+// RAND() pay neither the serialization nor the PRNG construction.
+func (ev *evaluator) rng() *rand.Rand {
+	if ev.rand == nil {
+		h := fnv.New64a()
+		io.WriteString(h, ev.query.String())
+		ev.rand = rand.New(rand.NewSource(ev.seed*1_000_003 ^ int64(h.Sum64())))
+	}
+	return ev.rand
 }
 
 // bindingEnv adapts a binding to the expression env interface.
@@ -228,7 +243,7 @@ func (be *bindingEnv) lookupVar(name string) (rdf.Term, bool) {
 	return be.ev.kb.Term(id), true
 }
 
-func (be *bindingEnv) rng() *rand.Rand { return be.ev.rand }
+func (be *bindingEnv) rng() *rand.Rand { return be.ev.rng() }
 
 func (be *bindingEnv) evalExists(g *GroupPattern) (bool, error) {
 	found := false

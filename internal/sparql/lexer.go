@@ -9,7 +9,7 @@ import (
 type tokKind uint8
 
 const (
-	tokEOF tokKind = iota
+	tokEOF    tokKind = iota
 	tokIdent          // bare identifier / keyword (SELECT, FILTER, a, ...)
 	tokVar            // ?name
 	tokIRI            // <...>

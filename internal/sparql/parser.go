@@ -50,9 +50,9 @@ type parser struct {
 	prefixes *rdf.PrefixMap
 }
 
-func (p *parser) peek() token  { return p.toks[p.pos] }
-func (p *parser) take() token  { t := p.toks[p.pos]; p.pos++; return t }
-func (p *parser) atEOF() bool  { return p.peek().kind == tokEOF }
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
 
 func (p *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("sparql: near position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))

@@ -172,14 +172,14 @@ func TestParseErrors(t *testing.T) {
 	bad := []string{
 		``,
 		`SELECT`,
-		`SELECT WHERE { ?x ?p ?y }`,             // no vars and no *
-		`SELECT ?x { ?x <http://x/p> }`,         // incomplete triple
-		`SELECT ?x WHERE { ?x <http://x/p> ?y`,  // unterminated group
-		`SELECT ?x WHERE { ?x "lit" ?y }`,       // literal predicate
+		`SELECT WHERE { ?x ?p ?y }`,            // no vars and no *
+		`SELECT ?x { ?x <http://x/p> }`,        // incomplete triple
+		`SELECT ?x WHERE { ?x <http://x/p> ?y`, // unterminated group
+		`SELECT ?x WHERE { ?x "lit" ?y }`,      // literal predicate
 		`SELECT ?x WHERE { "lit" <http://p> ?y }`, // literal subject
 		`SELECT ?x WHERE { ?x <http://x/p> ?y } LIMIT -3`,
 		`SELECT ?x WHERE { ?x <http://x/p> ?y } ORDER BY`,
-		`SELECT ?x WHERE { ?x unknown:p ?y }`,   // unknown prefix
+		`SELECT ?x WHERE { ?x unknown:p ?y }`, // unknown prefix
 		`SELECT ?x WHERE { ?x <http://x/p> ?y } garbage`,
 		`CONSTRUCT { ?x <http://x/p> ?y } WHERE { ?x <http://x/p> ?y }`,
 		`SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER REGEX(?y) }`, // arity

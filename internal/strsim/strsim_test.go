@@ -260,8 +260,8 @@ func TestDamerauLevenshtein(t *testing.T) {
 		{"", "", 0},
 		{"abc", "", 3},
 		{"", "abc", 3},
-		{"abc", "acb", 1},  // one transposition (plain Levenshtein: 2)
-		{"ca", "abc", 3},   // OSA variant: no substring moves
+		{"abc", "acb", 1}, // one transposition (plain Levenshtein: 2)
+		{"ca", "abc", 3},  // OSA variant: no substring moves
 		{"kitten", "sitting", 3},
 		{"hello", "ehllo", 1},
 	}

@@ -26,14 +26,14 @@ type World struct {
 
 // Report counts the generated structures, for documentation and tests.
 type Report struct {
-	Families             int
-	ConfounderFamilies   int
-	SpecializedFamilies  int
-	LiteralFamilies      int
-	VariantRelations     int
-	NoiseRelations       int
-	YagoFacts, DbpFacts  int
-	SameAsLinks          int
+	Families            int
+	ConfounderFamilies  int
+	SpecializedFamilies int
+	LiteralFamilies     int
+	VariantRelations    int
+	NoiseRelations      int
+	YagoFacts, DbpFacts int
+	SameAsLinks         int
 	// YagoRelations and DbpRelations list the relation IRIs that form
 	// the alignment universe, sorted.
 	YagoRelations []string
@@ -620,4 +620,3 @@ func underscored(s string) string {
 	}
 	return string(b)
 }
-

@@ -20,6 +20,28 @@
 // The returned alignments carry the paper's confidence measures, UBS
 // contradiction counts, and the equivalence verdict from the
 // double-subsumption test.
+//
+// # Batch alignment
+//
+// Aligning many relations is a concurrent pipeline. Decorate each
+// endpoint with a caching layer (memoizes identical queries under an
+// LRU bound) and a coalescing layer (singleflights identical in-flight
+// queries), set Config.Parallelism, and call AlignRelations:
+//
+//	cfg := sofya.UBSConfig()
+//	cfg.Parallelism = 8 // 0 = GOMAXPROCS
+//	qk := sofya.NewCoalescingEndpoint(sofya.NewCachingEndpoint(k, 0))
+//	qkp := sofya.NewCoalescingEndpoint(sofya.NewCachingEndpoint(kp, 0))
+//	aligner := sofya.NewAligner(qk, qkp, links, cfg)
+//	results, err := aligner.AlignRelations(world.Report.YagoRelations)
+//
+// Relations align concurrently while sharing deduplicated endpoint
+// traffic, and — because a Local endpoint answers a given query
+// identically regardless of execution order — the batch output is
+// byte-identical to the sequential run for fixed endpoint seeds.
+// Endpoints also expose context-aware methods (SelectCtx / AskCtx) for
+// cancellation and deadlines, and NewAlignerCache memoizes per-relation
+// results with singleflighted misses for query-time serving.
 package sofya
 
 import (
@@ -90,6 +112,12 @@ type (
 	// protocol; SPARQLClient consumes one.
 	SPARQLServer = endpoint.Server
 	SPARQLClient = endpoint.Client
+	// CachingEndpoint memoizes successful results under an LRU bound.
+	CachingEndpoint = endpoint.Caching
+	// CoalescingEndpoint singleflights identical in-flight queries.
+	CoalescingEndpoint = endpoint.Coalescing
+	// EndpointCacheStats counts a CachingEndpoint's hits and misses.
+	EndpointCacheStats = endpoint.CacheStats
 )
 
 // NewLocalEndpoint builds an unrestricted endpoint over k with a
@@ -107,6 +135,19 @@ func NewSPARQLServer(local *LocalEndpoint) *SPARQLServer { return endpoint.NewSe
 // NewSPARQLClient builds an Endpoint speaking the SPARQL HTTP protocol.
 func NewSPARQLClient(name, baseURL string) *SPARQLClient {
 	return endpoint.NewClient(name, baseURL, nil)
+}
+
+// NewCachingEndpoint decorates inner with an LRU memo of successful
+// results (maxEntries <= 0 selects the default bound). Stack a
+// coalescing decorator on top for concurrent batch alignment.
+func NewCachingEndpoint(inner Endpoint, maxEntries int) *CachingEndpoint {
+	return endpoint.NewCaching(inner, maxEntries)
+}
+
+// NewCoalescingEndpoint decorates inner so identical in-flight queries
+// from concurrent aligners share one probe.
+func NewCoalescingEndpoint(inner Endpoint) *CoalescingEndpoint {
+	return endpoint.NewCoalescing(inner)
 }
 
 // SameAs link types.
@@ -145,12 +186,20 @@ const (
 	CWA = ilp.CWA
 )
 
+// AlignerCache memoizes an aligner's per-relation results with
+// singleflighted misses, for query-time serving.
+type AlignerCache = core.Cache
+
 // NewAligner builds an aligner: k is the source endpoint K (whose
 // relation arrives in a query), kprime the target endpoint K', links
 // the sameAs translator between them.
 func NewAligner(k, kprime Endpoint, links Translator, cfg Config) *Aligner {
 	return core.New(k, kprime, links, cfg)
 }
+
+// NewAlignerCache wraps an aligner with per-relation memoization;
+// concurrent misses on the same relation compute once.
+func NewAlignerCache(a *Aligner) *AlignerCache { return core.NewCache(a) }
 
 // DefaultConfig is the pcaconf baseline of Table 1 (τ > 0.3, 10-subject
 // samples).

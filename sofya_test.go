@@ -2,6 +2,7 @@ package sofya
 
 import (
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -126,5 +127,72 @@ func TestConfigConstructors(t *testing.T) {
 	}
 	if PaperWorldSpec().YagoRelations != 92 || PaperWorldSpec().DbpRelations != 1313 {
 		t.Fatal("PaperWorldSpec scale")
+	}
+}
+
+// The batch facade: decorated endpoints + AlignRelations reproduce the
+// sequential per-relation results while spending fewer KB queries.
+func TestFacadeBatchAlignment(t *testing.T) {
+	world := Generate(TinyWorldSpec())
+	links := LinkView{Links: world.Links, KIsA: true}
+	relations := world.Report.YagoRelations
+
+	// sequential reference over fresh endpoints
+	seq := NewAligner(NewLocalEndpoint(world.Yago, 1), NewLocalEndpoint(world.Dbp, 2),
+		links, UBSConfig())
+	var want [][]Alignment
+	for _, r := range relations {
+		als, err := seq.AlignRelation(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, als)
+	}
+
+	k := NewLocalEndpoint(world.Yago, 1)
+	kp := NewLocalEndpoint(world.Dbp, 2)
+	cacheK := NewCachingEndpoint(k, 0)
+	cacheKP := NewCachingEndpoint(kp, 0)
+	cfg := UBSConfig()
+	cfg.Parallelism = 8
+	batch := NewAligner(NewCoalescingEndpoint(cacheK), NewCoalescingEndpoint(cacheKP), links, cfg)
+	got, err := batch.AlignRelations(relations)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel batch over decorated endpoints differs from sequential alignment")
+	}
+	if cacheK.CacheStats().Hits == 0 && cacheKP.CacheStats().Hits == 0 {
+		t.Fatal("batch alignment never hit the query cache")
+	}
+	t.Logf("batch queries: K=%d K'=%d, cache hits K=%d K'=%d",
+		k.Stats().Queries, kp.Stats().Queries,
+		cacheK.CacheStats().Hits, cacheKP.CacheStats().Hits)
+}
+
+// The aligner cache memoizes per-relation results behind the facade.
+func TestFacadeAlignerCache(t *testing.T) {
+	world := Generate(TinyWorldSpec())
+	k := NewLocalEndpoint(world.Yago, 1)
+	kp := NewLocalEndpoint(world.Dbp, 2)
+	cache := NewAlignerCache(NewAligner(k, kp,
+		LinkView{Links: world.Links, KIsA: true}, DefaultConfig()))
+
+	const r = "http://yago-knowledge.org/resource/wasBornIn"
+	if _, err := cache.AlignRelation(r); err != nil {
+		t.Fatal(err)
+	}
+	spent := k.Stats().Queries + kp.Stats().Queries
+	again, err := cache.AlignRelation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats().Queries+kp.Stats().Queries != spent {
+		t.Fatal("cached relation issued queries")
+	}
+	if len(AcceptedAlignments(again)) == 0 {
+		t.Fatal("cached result lost alignments")
 	}
 }
