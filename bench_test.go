@@ -8,6 +8,7 @@ package sofya
 // paper` and recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -179,6 +180,7 @@ func BenchmarkSPARQLSelectIndexed(b *testing.B) {
 	e := sparql.NewEngine(w.Yago)
 	q := sparql.MustParse(
 		`SELECT ?y WHERE { <http://yago-knowledge.org/resource/The_Nocturne_of_the_Shadow_0> ?p ?y }`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Eval(q); err != nil {
@@ -192,6 +194,7 @@ func BenchmarkSPARQLSelectScan(b *testing.B) {
 	e := sparql.NewEngine(w.Yago)
 	q := sparql.MustParse(
 		`SELECT ?x ?y WHERE { ?x <http://yago-knowledge.org/resource/created> ?y } ORDER BY RAND() LIMIT 50`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Eval(q); err != nil {
@@ -203,11 +206,126 @@ func BenchmarkSPARQLSelectScan(b *testing.B) {
 func BenchmarkEndpointSelect(b *testing.B) {
 	w := world(b)
 	ep := endpoint.NewLocal(w.Yago, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ep.Select(`SELECT ?x ?y WHERE { ?x <http://yago-knowledge.org/resource/wasBornIn> ?y } LIMIT 20`); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- prepared templates vs text interpolation ---
+//
+// The pair below measures the PR's tentpole claim directly: the same
+// probe (the aligner's predicates-between shape) through the seed-style
+// text path — Sprintf, parse, plan, evaluate — and through a prepared
+// template that binds two TermID registers. Run with -benchmem; the
+// prepared path must win on both ns/op and allocs/op.
+
+func benchProbeEntities(b *testing.B) (x, y string) {
+	w := world(b)
+	k := w.Yago
+	rels := k.Relations()
+	for _, p := range rels {
+		for _, s := range k.SubjectsWith(p) {
+			objs := k.ObjectsOf(s, p)
+			if len(objs) > 0 && k.Term(objs[0]).IsIRI() {
+				return k.Term(s).Value, k.Term(objs[0]).Value
+			}
+		}
+	}
+	b.Skip("no entity-entity fact")
+	return "", ""
+}
+
+func BenchmarkQueryTextPath(b *testing.B) {
+	w := world(b)
+	ep := endpoint.NewLocal(w.Yago, 1)
+	x, y := benchProbeEntities(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", x, y)
+		if _, err := ep.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryPreparedPath(b *testing.B) {
+	w := world(b)
+	ep := endpoint.NewLocal(w.Yago, 1)
+	x, y := benchProbeEntities(b)
+	pq, err := ep.Prepare("SELECT ?p WHERE { $x ?p $y }", "x", "y")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ax, ay := sparql.IRIArg(x), sparql.IRIArg(y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pq.Select(ax, ay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The sampling shape with its RAND() stream: prepared vs text.
+func BenchmarkSampleTextPath(b *testing.B) {
+	w := world(b)
+	ep := endpoint.NewLocal(w.Yago, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d",
+			"http://yago-knowledge.org/resource/wasBornIn", 50)
+		if _, err := ep.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSamplePreparedPath(b *testing.B) {
+	w := world(b)
+	ep := endpoint.NewLocal(w.Yago, 1)
+	pq, err := ep.Prepare(sampling.TmplSample, "r", "n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sparql.IRIArg("http://yago-knowledge.org/resource/wasBornIn")
+	n := sparql.IntArg(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pq.Select(r, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DISTINCT dedup over TermID keys (was: string concatenation per row).
+func BenchmarkSPARQLDistinct(b *testing.B) {
+	w := world(b)
+	e := sparql.NewEngine(w.Yago)
+	q := sparql.MustParse(`SELECT DISTINCT ?x WHERE { ?x ?p ?y }`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// KB freeze cost, for sizing the load → serve transition.
+func BenchmarkKBFreeze(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := synth.Generate(synth.TinySpec())
+		b.StartTimer()
+		w.Yago.Freeze()
 	}
 }
 

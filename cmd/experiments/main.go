@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,12 +22,33 @@ import (
 
 func main() {
 	var (
-		specName = flag.String("spec", "paper", "world size: tiny | paper")
-		which    = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7")
-		markdown = flag.Bool("md", false, "emit markdown tables")
-		parallel = flag.Int("parallel", 0, "aligner worker bound per run (0 = GOMAXPROCS; results are identical at any setting)")
+		specName   = flag.String("spec", "paper", "world size: tiny | paper")
+		which      = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7")
+		markdown   = flag.Bool("md", false, "emit markdown tables")
+		parallel   = flag.Int("parallel", 0, "aligner worker bound per run (0 = GOMAXPROCS; results are identical at any setting)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
 
 	spec := synth.DefaultSpec()
 	if *specName == "tiny" {

@@ -8,6 +8,21 @@ import (
 	"sofya/internal/ilp"
 	"sofya/internal/rdf"
 	"sofya/internal/sampling"
+	"sofya/internal/sparql"
+)
+
+// Query templates of the aligner's own probe sites. Like the sampling
+// templates they are prepared once per aligner and bound per stage, so
+// the thousands of structurally identical probes an alignment fires
+// skip query construction, parsing and planning entirely.
+const (
+	// tmplPredsBetween asks which predicates connect two entities —
+	// the discovery stage's entity probe and, mirrored onto K, the
+	// head-sibling (equivalence) probe.
+	tmplPredsBetween = "SELECT ?p WHERE { $x ?p $y }"
+	// tmplLiteralAttrs scans an entity's literal attributes for the
+	// discovery stage's literal matcher.
+	tmplLiteralAttrs = "SELECT ?p ?v WHERE { $x ?p ?v . FILTER ISLITERAL(?v) }"
 )
 
 // Alignment is the aligner's verdict on one candidate rule r' ⇒ r.
@@ -63,6 +78,19 @@ type Aligner struct {
 	sem chan struct{}
 	// names label the KBs in emitted rules.
 	kName, kPrimeName string
+
+	// prepared probe templates, compiled once in New and bound per
+	// stage; prepErr surfaces a failed Prepare at alignment time.
+	pDiscover     endpoint.PreparedQuery // on K: sampling.TmplSample
+	pEntityPreds  endpoint.PreparedQuery // on K': tmplPredsBetween
+	pLiteralAttrs endpoint.PreparedQuery // on K': tmplLiteralAttrs
+	pHeadPreds    endpoint.PreparedQuery // on K: tmplPredsBetween
+	prepErr       error
+
+	// flipped validates reverse rules r ⇒ r' (roles of K and K'
+	// swapped); built once so its prepared probes are shared by every
+	// equivalence check.
+	flipped *sampling.Validator
 }
 
 // New builds an aligner from the head-side endpoint k (the KB whose
@@ -70,7 +98,7 @@ type Aligner struct {
 // to align against), and the sameAs translator between them.
 func New(k, kprime endpoint.Endpoint, links sampling.Translator, cfg Config) *Aligner {
 	cfg = cfg.normalized()
-	return &Aligner{
+	a := &Aligner{
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.Parallelism),
 		val: &sampling.Validator{
@@ -80,9 +108,31 @@ func New(k, kprime endpoint.Endpoint, links sampling.Translator, cfg Config) *Al
 			Matcher:     cfg.Matcher,
 			FetchWindow: cfg.FetchWindow,
 		},
+		flipped: &sampling.Validator{
+			K:           kprime,
+			KPrime:      k,
+			Links:       flipTranslator{links},
+			Matcher:     cfg.Matcher,
+			FetchWindow: cfg.FetchWindow,
+		},
 		kName:      k.Name(),
 		kPrimeName: kprime.Name(),
 	}
+	prep := func(ep endpoint.Endpoint, tmpl string, params ...string) endpoint.PreparedQuery {
+		if a.prepErr != nil {
+			return nil
+		}
+		pq, err := ep.Prepare(tmpl, params...)
+		if err != nil {
+			a.prepErr = fmt.Errorf("core: preparing probe against %s: %w", ep.Name(), err)
+		}
+		return pq
+	}
+	a.pDiscover = prep(k, sampling.TmplSample, "r", "n")
+	a.pEntityPreds = prep(kprime, tmplPredsBetween, "x", "y")
+	a.pLiteralAttrs = prep(kprime, tmplLiteralAttrs, "x")
+	a.pHeadPreds = prep(k, tmplPredsBetween, "x", "y")
+	return a
 }
 
 // Config returns the aligner's (normalized) configuration.
@@ -113,6 +163,9 @@ type candidate struct {
 // collected by index, so the output is identical to the sequential run
 // for deterministic endpoints.
 func (a *Aligner) AlignRelation(r string) ([]Alignment, error) {
+	if a.prepErr != nil {
+		return nil, a.prepErr
+	}
 	cands, err := a.discover(r)
 	if err != nil {
 		return nil, err
@@ -193,9 +246,10 @@ func sortAlignments(out []Alignment) {
 // discoveryProbe is one K'-side co-occurrence query of the discovery
 // stage: an entity probe (which predicates connect the translated
 // pair?) or, when lit is a literal, a literal scan matched against it.
+// exec runs the bound prepared query.
 type discoveryProbe struct {
-	query string
-	lit   rdf.Term
+	exec func() (*sparql.Result, error)
+	lit  rdf.Term
 }
 
 // discover samples r-facts from K, translates them into K', and
@@ -212,10 +266,9 @@ func (a *Aligner) discover(r string) ([]*candidate, error) {
 			window = 200
 		}
 	}
-	q := fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d", r, window)
 	// the sample query occupies an endpoint like any stage task
 	a.sem <- struct{}{}
-	res, err := a.val.K.Select(q)
+	res, err := a.pDiscover.Select(sparql.IRIArg(r), sparql.IntArg(window))
 	<-a.sem
 	if err != nil {
 		return nil, fmt.Errorf("core: discovery sample for <%s>: %w", r, err)
@@ -241,15 +294,19 @@ func (a *Aligner) discover(r string) ([]*candidate, error) {
 				continue
 			}
 			probes = append(probes, discoveryProbe{
-				query: fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", xp, yp),
+				exec: func() (*sparql.Result, error) {
+					return a.pEntityPreds.Select(sparql.IRIArg(xp), sparql.IRIArg(yp))
+				},
 			})
 		case y.IsLiteral():
 			if a.cfg.Matcher == nil {
 				continue
 			}
 			probes = append(probes, discoveryProbe{
-				query: fmt.Sprintf("SELECT ?p ?v WHERE { <%s> ?p ?v . FILTER ISLITERAL(?v) }", xp),
-				lit:   y,
+				exec: func() (*sparql.Result, error) {
+					return a.pLiteralAttrs.Select(sparql.IRIArg(xp))
+				},
+				lit: y,
 			})
 		}
 	}
@@ -257,7 +314,7 @@ func (a *Aligner) discover(r string) ([]*candidate, error) {
 	partial := make([]map[string]int, len(probes))
 	err = a.runStage(len(probes), func(i int) error {
 		p := probes[i]
-		pres, err := a.val.KPrime.Select(p.query)
+		pres, err := p.exec()
 		if err != nil {
 			return err
 		}
@@ -442,8 +499,7 @@ func (a *Aligner) headSiblings(r string, c *candidate) ([]string, error) {
 			continue
 		}
 		checked++
-		q := fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", f.X, f.Y.Value)
-		res, err := a.val.K.Select(q)
+		res, err := a.pHeadPreds.Select(sparql.IRIArg(f.X), sparql.IRIArg(f.Y.Value))
 		if err != nil {
 			return nil, err
 		}
@@ -478,17 +534,11 @@ func (a *Aligner) headSiblings(r string, c *candidate) ([]string, error) {
 }
 
 // checkEquivalences validates the reverse rule r ⇒ r' for accepted
-// alignments through a flipped validator (roles of K and K' swapped),
-// one worker-pool task per accepted rule. Each task writes only its
-// own Alignment, so no collection step is needed.
+// alignments through the aligner's flipped validator (roles of K and
+// K' swapped), one worker-pool task per accepted rule. Each task
+// writes only its own Alignment, so no collection step is needed.
 func (a *Aligner) checkEquivalences(r string, out []Alignment) error {
-	flipped := &sampling.Validator{
-		K:           a.val.KPrime,
-		KPrime:      a.val.K,
-		Links:       flipTranslator{a.val.Links},
-		Matcher:     a.cfg.Matcher,
-		FetchWindow: a.cfg.FetchWindow,
-	}
+	flipped := a.flipped
 	var accepted []int
 	for i := range out {
 		if out[i].Accepted {

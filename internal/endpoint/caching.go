@@ -137,6 +137,62 @@ func (c *Caching) store(key string, res sparql.Result) {
 	}
 }
 
+// Prepare implements Endpoint: prepared executions flow through the
+// same LRU, keyed by template, parameter order and rendered arguments,
+// so identical prepared probes — from any handle or pipeline stage
+// sharing the template — reach the inner endpoint once. (Text queries
+// keep their own keys: a text probe and its prepared equivalent are
+// cached independently.)
+func (c *Caching) Prepare(template string, params ...string) (PreparedQuery, error) {
+	inner, err := c.inner.Prepare(template, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &cachingPrepared{c: c, inner: inner, source: template, params: params}, nil
+}
+
+type cachingPrepared struct {
+	c      *Caching
+	inner  PreparedQuery
+	source string
+	params []string
+}
+
+func (p *cachingPrepared) Select(args ...sparql.Arg) (*sparql.Result, error) {
+	return p.SelectCtx(context.Background(), args...)
+}
+
+func (p *cachingPrepared) Ask(args ...sparql.Arg) (bool, error) {
+	return p.AskCtx(context.Background(), args...)
+}
+
+func (p *cachingPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) (*sparql.Result, error) {
+	key := preparedKey('S', p.source, p.params, args)
+	if res, ok := p.c.lookup(key); ok {
+		return res, nil
+	}
+	res, err := p.inner.SelectCtx(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	p.c.store(key, *res)
+	out := *res
+	return &out, nil
+}
+
+func (p *cachingPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, error) {
+	key := preparedKey('A', p.source, p.params, args)
+	if res, ok := p.c.lookup(key); ok {
+		return res.Ask, nil
+	}
+	ok, err := p.inner.AskCtx(ctx, args...)
+	if err != nil {
+		return false, err
+	}
+	p.c.store(key, sparql.Result{Ask: ok})
+	return ok, nil
+}
+
 // CacheStats returns the decorator's own hit/miss/eviction counters.
 func (c *Caching) CacheStats() CacheStats {
 	c.mu.Lock()

@@ -73,6 +73,58 @@ func (c *Coalescing) AskCtx(ctx context.Context, query string) (bool, error) {
 	return ok, err
 }
 
+// Prepare implements Endpoint: prepared executions singleflight on the
+// template source plus rendered arguments, sharing the group with
+// other prepared handles of the same template.
+func (c *Coalescing) Prepare(template string, params ...string) (PreparedQuery, error) {
+	inner, err := c.inner.Prepare(template, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &coalescingPrepared{c: c, inner: inner, source: template, params: params}, nil
+}
+
+type coalescingPrepared struct {
+	c      *Coalescing
+	inner  PreparedQuery
+	source string
+	params []string
+}
+
+func (p *coalescingPrepared) Select(args ...sparql.Arg) (*sparql.Result, error) {
+	return p.SelectCtx(context.Background(), args...)
+}
+
+func (p *coalescingPrepared) Ask(args ...sparql.Arg) (bool, error) {
+	return p.AskCtx(context.Background(), args...)
+}
+
+func (p *coalescingPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) (*sparql.Result, error) {
+	key := preparedKey('S', p.source, p.params, args)
+	res, err, shared := p.c.sel.DoCtx(ctx, key, func() (*sparql.Result, error) {
+		return p.inner.SelectCtx(context.WithoutCancel(ctx), args...)
+	})
+	if shared {
+		p.c.coalesced.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := *res
+	return &out, nil
+}
+
+func (p *coalescingPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, error) {
+	key := preparedKey('A', p.source, p.params, args)
+	ok, err, shared := p.c.ask.DoCtx(ctx, key, func() (bool, error) {
+		return p.inner.AskCtx(context.WithoutCancel(ctx), args...)
+	})
+	if shared {
+		p.c.coalesced.Add(1)
+	}
+	return ok, err
+}
+
 // Coalesced reports how many calls were served by another caller's
 // in-flight query instead of probing the inner endpoint.
 func (c *Coalescing) Coalesced() int64 { return c.coalesced.Load() }

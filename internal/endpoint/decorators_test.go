@@ -46,6 +46,13 @@ func (g *gatedEndpoint) Ask(query string) (bool, error) {
 	return g.AskCtx(context.Background(), query)
 }
 
+// Prepare routes prepared executions through the gated text path (not
+// the embedded Local's fast path) so tests count and block them like
+// any other probe.
+func (g *gatedEndpoint) Prepare(template string, params ...string) (PreparedQuery, error) {
+	return NewTextPrepared(g, template, params...)
+}
+
 const (
 	selP  = `SELECT ?x ?y WHERE { ?x <http://x/p> ?y }`
 	selPX = `SELECT ?y WHERE { <http://x/a> <http://x/p> ?y }`

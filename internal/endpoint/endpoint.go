@@ -26,7 +26,6 @@ package endpoint
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
@@ -50,6 +49,12 @@ type Endpoint interface {
 	SelectCtx(ctx context.Context, query string) (*sparql.Result, error)
 	// AskCtx is Ask honoring ctx for cancellation and deadlines.
 	AskCtx(ctx context.Context, query string) (bool, error)
+	// Prepare compiles a query template (parameters written $name in
+	// term positions, or LIMIT $name) for repeated execution. Results
+	// are byte-identical to sending the equivalent query text; local
+	// endpoints skip parse, plan and interpolation per call, remote
+	// ones fall back to canonical text rendering (NewTextPrepared).
+	Prepare(template string, params ...string) (PreparedQuery, error)
 }
 
 // StatsReporter is implemented by endpoints that track access statistics.
@@ -95,13 +100,18 @@ type Local struct {
 }
 
 // NewLocal builds an unrestricted endpoint over k with a deterministic
-// RAND() seed.
+// RAND() seed. Creating an endpoint marks the load → serve boundary of
+// the KB lifecycle: k is frozen into its compact read-optimized form
+// (kb.Freeze) so every query runs on CSR postings with O(1) statistics.
 func NewLocal(k *kb.KB, seed int64) *Local {
+	k.Freeze()
 	return &Local{name: k.Name(), engine: sparql.NewEngineSeeded(k, seed)}
 }
 
-// NewLocalRestricted builds an endpoint over k with an access quota.
+// NewLocalRestricted builds an endpoint over k with an access quota,
+// freezing k like NewLocal.
 func NewLocalRestricted(k *kb.KB, seed int64, q Quota) *Local {
+	k.Freeze()
 	return &Local{name: k.Name(), engine: sparql.NewEngineSeeded(k, seed), quota: q}
 }
 
@@ -155,30 +165,26 @@ func (l *Local) Ask(query string) (bool, error) {
 	return l.AskCtx(context.Background(), query)
 }
 
-// SelectCtx implements Endpoint. The context is checked before the
-// query is admitted and while simulated latency elapses; evaluation
-// itself is in-process and fast, so it is not interruptible.
-func (l *Local) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
+var (
+	errNeedSelect = errors.New("endpoint: Select needs a SELECT query")
+	errNeedAsk    = errors.New("endpoint: Ask needs an ASK query")
+)
+
+// admitCtx charges the quota and simulates latency: the context is
+// checked before the query is admitted and while the latency elapses;
+// evaluation itself is in-process and fast, so it is not interruptible.
+func (l *Local) admitCtx(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := l.admit(); err != nil {
-		return nil, err
+		return err
 	}
-	if err := sleepCtx(ctx, l.latency()); err != nil {
-		return nil, err
-	}
-	q, err := sparql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	if q.Form != sparql.SelectForm {
-		return nil, fmt.Errorf("endpoint: Select needs a SELECT query")
-	}
-	res, err := l.engine.Eval(q)
-	if err != nil {
-		return nil, err
-	}
+	return sleepCtx(ctx, l.latency())
+}
+
+// capAndCount applies the row cap and records result statistics.
+func (l *Local) capAndCount(res *sparql.Result) {
 	l.mu.Lock()
 	if l.quota.MaxRows > 0 && len(res.Rows) > l.quota.MaxRows {
 		res.Rows = res.Rows[:l.quota.MaxRows]
@@ -187,18 +193,31 @@ func (l *Local) SelectCtx(ctx context.Context, query string) (*sparql.Result, er
 	}
 	l.stats.Rows += len(res.Rows)
 	l.mu.Unlock()
+}
+
+// SelectCtx implements Endpoint.
+func (l *Local) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
+	if err := l.admitCtx(ctx); err != nil {
+		return nil, err
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != sparql.SelectForm {
+		return nil, errNeedSelect
+	}
+	res, err := l.engine.Eval(q)
+	if err != nil {
+		return nil, err
+	}
+	l.capAndCount(res)
 	return res, nil
 }
 
 // AskCtx implements Endpoint.
 func (l *Local) AskCtx(ctx context.Context, query string) (bool, error) {
-	if err := ctx.Err(); err != nil {
-		return false, err
-	}
-	if err := l.admit(); err != nil {
-		return false, err
-	}
-	if err := sleepCtx(ctx, l.latency()); err != nil {
+	if err := l.admitCtx(ctx); err != nil {
 		return false, err
 	}
 	q, err := sparql.Parse(query)
@@ -206,13 +225,30 @@ func (l *Local) AskCtx(ctx context.Context, query string) (bool, error) {
 		return false, err
 	}
 	if q.Form != sparql.AskForm {
-		return false, fmt.Errorf("endpoint: Ask needs an ASK query")
+		return false, errNeedAsk
 	}
 	res, err := l.engine.Eval(q)
 	if err != nil {
 		return false, err
 	}
 	return res.Ask, nil
+}
+
+// Prepare implements Endpoint: the template compiles once into a
+// slot-addressed plan over the endpoint's engine, and every execution
+// binds arguments into registers directly — no parsing, no planning,
+// no text interpolation. Prepared executions are charged against the
+// quota and statistics exactly like text queries.
+func (l *Local) Prepare(template string, params ...string) (PreparedQuery, error) {
+	t, err := sparql.ParseTemplate(template, params...)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := l.engine.Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	return &localPrepared{l: l, plan: plan}, nil
 }
 
 func (l *Local) latency() time.Duration {

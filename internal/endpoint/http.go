@@ -175,4 +175,13 @@ func (c *Client) AskCtx(ctx context.Context, query string) (bool, error) {
 	return res.Ask, nil
 }
 
+// Prepare implements Endpoint by text interpolation: each execution
+// renders the template to canonical query text and sends it over the
+// wire. A Local server on the far side derives RAND() streams from
+// that canonical text, so remote prepared results match in-process
+// prepared results byte for byte.
+func (c *Client) Prepare(template string, params ...string) (PreparedQuery, error) {
+	return NewTextPrepared(c, template, params...)
+}
+
 var _ Endpoint = (*Client)(nil)

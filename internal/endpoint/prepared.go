@@ -1,0 +1,149 @@
+package endpoint
+
+import (
+	"context"
+	"strings"
+
+	"sofya/internal/sparql"
+)
+
+// PreparedQuery is a query template bound to an endpoint: parameters
+// are filled per call, positionally, with sparql.Arg values. Against a
+// Local endpoint a prepared query skips parsing, planning and text
+// interpolation entirely; against a remote endpoint it falls back to
+// rendering canonical query text. Either way the results — including
+// ORDER BY RAND() streams — are byte-identical to sending the
+// equivalent query text, so prepared and text traffic can be mixed
+// freely.
+//
+// Implementations are safe for concurrent use.
+type PreparedQuery interface {
+	// Select executes the template as a SELECT query.
+	Select(args ...sparql.Arg) (*sparql.Result, error)
+	// SelectCtx is Select honoring ctx for cancellation and deadlines.
+	SelectCtx(ctx context.Context, args ...sparql.Arg) (*sparql.Result, error)
+	// Ask executes the template as an ASK query.
+	Ask(args ...sparql.Arg) (bool, error)
+	// AskCtx is Ask honoring ctx.
+	AskCtx(ctx context.Context, args ...sparql.Arg) (bool, error)
+}
+
+// preparedKey renders a stable cache/coalescing key for one execution
+// of a prepared query: the template source, its parameter declaration
+// order, and the canonical argument renderings. Two prepared handles
+// over the same template and parameter list — even from different
+// decorator instances or pipeline stages — collide on identical
+// arguments; the parameter names keep handles that declare the same
+// text with a different parameter order (different semantics) apart.
+func preparedKey(form byte, source string, params []string, args []sparql.Arg) string {
+	var sb strings.Builder
+	sb.Grow(len(source) + 16*(len(args)+len(params)) + 4)
+	sb.WriteByte('P')
+	sb.WriteByte(form)
+	sb.WriteByte(0)
+	sb.WriteString(source)
+	for _, p := range params {
+		sb.WriteByte(0x1e)
+		sb.WriteString(p)
+	}
+	for _, a := range args {
+		sb.WriteByte(0x1f)
+		sb.WriteString(a.Key())
+	}
+	return sb.String()
+}
+
+// localPrepared is Local's PreparedQuery: a compiled plan executed
+// in-process under the endpoint's quota and statistics, exactly like a
+// text query but with parse and plan cost paid once at Prepare.
+type localPrepared struct {
+	l    *Local
+	plan *sparql.Prepared
+}
+
+func (p *localPrepared) Select(args ...sparql.Arg) (*sparql.Result, error) {
+	return p.SelectCtx(context.Background(), args...)
+}
+
+func (p *localPrepared) Ask(args ...sparql.Arg) (bool, error) {
+	return p.AskCtx(context.Background(), args...)
+}
+
+func (p *localPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) (*sparql.Result, error) {
+	if err := p.l.admitCtx(ctx); err != nil {
+		return nil, err
+	}
+	if p.plan.Template().Form() != sparql.SelectForm {
+		return nil, errNeedSelect
+	}
+	res, err := p.plan.Exec(args...)
+	if err != nil {
+		return nil, err
+	}
+	p.l.capAndCount(res)
+	return res, nil
+}
+
+func (p *localPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, error) {
+	if err := p.l.admitCtx(ctx); err != nil {
+		return false, err
+	}
+	if p.plan.Template().Form() != sparql.AskForm {
+		return false, errNeedAsk
+	}
+	res, err := p.plan.Exec(args...)
+	if err != nil {
+		return false, err
+	}
+	return res.Ask, nil
+}
+
+// textPrepared renders the template to canonical query text per call
+// and sends it through the endpoint's text methods — the fallback for
+// endpoints without an in-process engine (the HTTP client, test
+// doubles). Because the rendered text is canonical, a remote Local
+// server derives the same RAND() stream the in-process fast path would.
+type textPrepared struct {
+	ep   Endpoint
+	tmpl *sparql.Template
+}
+
+// NewTextPrepared builds a PreparedQuery over any Endpoint by text
+// interpolation. Endpoint implementations without a native prepared
+// path use it to satisfy Prepare.
+func NewTextPrepared(ep Endpoint, template string, params ...string) (PreparedQuery, error) {
+	t, err := sparql.ParseTemplate(template, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &textPrepared{ep: ep, tmpl: t}, nil
+}
+
+func (p *textPrepared) Select(args ...sparql.Arg) (*sparql.Result, error) {
+	return p.SelectCtx(context.Background(), args...)
+}
+
+func (p *textPrepared) Ask(args ...sparql.Arg) (bool, error) {
+	return p.AskCtx(context.Background(), args...)
+}
+
+func (p *textPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) (*sparql.Result, error) {
+	text, err := p.tmpl.Text(args...)
+	if err != nil {
+		return nil, err
+	}
+	return p.ep.SelectCtx(ctx, text)
+}
+
+func (p *textPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, error) {
+	text, err := p.tmpl.Text(args...)
+	if err != nil {
+		return false, err
+	}
+	return p.ep.AskCtx(ctx, text)
+}
+
+var (
+	_ PreparedQuery = (*localPrepared)(nil)
+	_ PreparedQuery = (*textPrepared)(nil)
+)

@@ -1,0 +1,261 @@
+package kb
+
+import "sort"
+
+// frozen holds the compacted read-optimized indexes built by Freeze: the
+// three nested-map indexes flattened into CSR-style postings (dense
+// arrays plus offset tables) with binary-search lookups, and
+// per-predicate cardinality statistics.
+//
+// Layout, for an index X → key → posting list:
+//
+//	off[x] .. off[x+1]      range of key entries for top-level id x
+//	keys[e]                 e-th key entry (sorted by term order)
+//	post[e] .. post[e+1]    posting range of entry e in the value array
+//
+// Iteration orders are chosen to reproduce the mutable KB's observable
+// orders exactly: key entries are sorted by term (like sortByTerm) and
+// postings keep insertion order, so a frozen KB answers every query
+// byte-identically to an unfrozen one — only faster and allocation-free.
+type frozen struct {
+	// rank[id] is the position of term id in the global term sort order;
+	// comparing ranks is equivalent to comparing terms.
+	rank []int32
+
+	// SPO: subject → predicate entries → object postings.
+	spoOff  []int32
+	spoPred []TermID
+	spoPost []int32
+	spoObj  []TermID
+
+	// POS: predicate → object entries → subject postings.
+	posOff  []int32
+	posObjE []TermID
+	posPost []int32
+	posSub  []TermID
+
+	// PSO: predicate → subject entries → object postings.
+	psoOff  []int32
+	psoSubE []TermID
+	psoPost []int32
+	psoObj  []TermID
+
+	// relations is every predicate with at least one fact, term-sorted.
+	relations []TermID
+
+	// litObjs[p] counts facts of p with a literal object.
+	litObjs []int32
+}
+
+// Frozen reports whether the KB currently serves reads from the
+// compacted indexes.
+func (k *KB) Frozen() bool { return k.fr != nil }
+
+// Freeze compacts the three nested-map indexes into flat sorted
+// CSR-style postings and precomputes per-predicate cardinality
+// statistics. Reads keep their exact pre-freeze semantics (including
+// iteration orders) but run on dense arrays with binary-search lookups
+// and without per-call allocation.
+//
+// Freeze is idempotent. A frozen KB may be read concurrently; mutating
+// it (AddFact and friends) thaws it back to the mutable indexes, so
+// correctness never depends on the caller's discipline — only speed
+// does. Call Freeze again after a load phase to re-compact.
+func (k *KB) Freeze() {
+	if k.fr != nil {
+		return
+	}
+	nt := len(k.terms)
+	fr := &frozen{
+		rank:    make([]int32, nt),
+		litObjs: make([]int32, nt),
+	}
+
+	// Global term order: ids sorted by term, then inverted into ranks.
+	byTerm := make([]TermID, nt)
+	for i := range byTerm {
+		byTerm[i] = TermID(i)
+	}
+	k.sortByTerm(byTerm)
+	for r, id := range byTerm {
+		fr.rank[id] = int32(r)
+	}
+	rankSort := func(ids []TermID) {
+		sort.Slice(ids, func(i, j int) bool { return fr.rank[ids[i]] < fr.rank[ids[j]] })
+	}
+
+	// SPO.
+	fr.spoOff = make([]int32, nt+1)
+	fr.spoPost = append(fr.spoPost, 0)
+	for s := 0; s < nt; s++ {
+		po := k.spo[TermID(s)]
+		preds := make([]TermID, 0, len(po))
+		for p := range po {
+			preds = append(preds, p)
+		}
+		rankSort(preds)
+		for _, p := range preds {
+			fr.spoPred = append(fr.spoPred, p)
+			fr.spoObj = append(fr.spoObj, po[p]...)
+			fr.spoPost = append(fr.spoPost, int32(len(fr.spoObj)))
+		}
+		fr.spoOff[s+1] = int32(len(fr.spoPred))
+	}
+
+	// POS and PSO share the predicate axis; build both per predicate.
+	fr.posOff = make([]int32, nt+1)
+	fr.psoOff = make([]int32, nt+1)
+	fr.posPost = append(fr.posPost, 0)
+	fr.psoPost = append(fr.psoPost, 0)
+	for p := 0; p < nt; p++ {
+		pid := TermID(p)
+		if os := k.pos[pid]; len(os) > 0 {
+			objs := make([]TermID, 0, len(os))
+			for o := range os {
+				objs = append(objs, o)
+			}
+			rankSort(objs)
+			for _, o := range objs {
+				fr.posObjE = append(fr.posObjE, o)
+				fr.posSub = append(fr.posSub, os[o]...)
+				fr.posPost = append(fr.posPost, int32(len(fr.posSub)))
+			}
+		}
+		fr.posOff[p+1] = int32(len(fr.posObjE))
+
+		if so := k.pso[pid]; len(so) > 0 {
+			subs := make([]TermID, 0, len(so))
+			for s := range so {
+				subs = append(subs, s)
+			}
+			rankSort(subs)
+			for _, s := range subs {
+				fr.psoSubE = append(fr.psoSubE, s)
+				for _, o := range so[s] {
+					fr.psoObj = append(fr.psoObj, o)
+					if k.terms[o].IsLiteral() {
+						fr.litObjs[p]++
+					}
+				}
+				fr.psoPost = append(fr.psoPost, int32(len(fr.psoObj)))
+			}
+			fr.relations = append(fr.relations, pid)
+		}
+		fr.psoOff[p+1] = int32(len(fr.psoSubE))
+	}
+	rankSort(fr.relations)
+
+	k.fr = fr
+}
+
+// thaw drops the compacted indexes; called by every mutation.
+func (k *KB) thaw() { k.fr = nil }
+
+// findEntry binary-searches the key entries keys[lo:hi] (sorted by term
+// rank) for key, returning the entry index or -1.
+func (fr *frozen) findEntry(keys []TermID, lo, hi int32, key TermID) int32 {
+	if !fr.inRange(key) {
+		return -1 // NoTerm, or interned after freeze: no frozen facts involve it
+	}
+	r := fr.rank[key]
+	end := hi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fr.rank[keys[mid]] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < end && keys[lo] == key {
+		return lo
+	}
+	return -1
+}
+
+// inRange reports whether id was interned before the freeze (only those
+// ids appear in the frozen arrays).
+func (fr *frozen) inRange(id TermID) bool { return id >= 0 && int(id) < len(fr.rank) }
+
+// objectsOf is ObjectsOf over the frozen index.
+func (fr *frozen) objectsOf(s, p TermID) []TermID {
+	if !fr.inRange(s) {
+		return nil
+	}
+	e := fr.findEntry(fr.spoPred, fr.spoOff[s], fr.spoOff[s+1], p)
+	if e < 0 {
+		return nil
+	}
+	return fr.spoObj[fr.spoPost[e]:fr.spoPost[e+1]]
+}
+
+// subjectsOf is SubjectsOf over the frozen index.
+func (fr *frozen) subjectsOf(p, o TermID) []TermID {
+	if !fr.inRange(p) {
+		return nil
+	}
+	e := fr.findEntry(fr.posObjE, fr.posOff[p], fr.posOff[p+1], o)
+	if e < 0 {
+		return nil
+	}
+	return fr.posSub[fr.posPost[e]:fr.posPost[e+1]]
+}
+
+// predicatesOfSubject returns the term-sorted predicate entries of s,
+// shared with the index (callers must not mutate).
+func (fr *frozen) predicatesOfSubject(s TermID) []TermID {
+	if !fr.inRange(s) {
+		return nil
+	}
+	return fr.spoPred[fr.spoOff[s]:fr.spoOff[s+1]]
+}
+
+// subjectsWith returns the term-sorted subject entries of p, shared
+// with the index.
+func (fr *frozen) subjectsWith(p TermID) []TermID {
+	if !fr.inRange(p) {
+		return nil
+	}
+	return fr.psoSubE[fr.psoOff[p]:fr.psoOff[p+1]]
+}
+
+// eachFactOf visits p's facts: subjects in term order, objects in
+// insertion order — the same order the mutable index produces.
+func (fr *frozen) eachFactOf(p TermID, fn func(s, o TermID) bool) {
+	if !fr.inRange(p) {
+		return
+	}
+	for e := fr.psoOff[p]; e < fr.psoOff[p+1]; e++ {
+		s := fr.psoSubE[e]
+		for _, o := range fr.psoObj[fr.psoPost[e]:fr.psoPost[e+1]] {
+			if !fn(s, o) {
+				return
+			}
+		}
+	}
+}
+
+// numFactsOf is O(1) on the frozen index.
+func (fr *frozen) numFactsOf(p TermID) int {
+	if !fr.inRange(p) {
+		return 0
+	}
+	lo, hi := fr.psoOff[p], fr.psoOff[p+1]
+	return int(fr.psoPost[hi] - fr.psoPost[lo])
+}
+
+// numSubjectsOf is O(1) on the frozen index.
+func (fr *frozen) numSubjectsOf(p TermID) int {
+	if !fr.inRange(p) {
+		return 0
+	}
+	return int(fr.psoOff[p+1] - fr.psoOff[p])
+}
+
+// numObjectsOf is O(1) on the frozen index.
+func (fr *frozen) numObjectsOf(p TermID) int {
+	if !fr.inRange(p) {
+		return 0
+	}
+	return int(fr.posOff[p+1] - fr.posOff[p])
+}

@@ -34,6 +34,11 @@ type Fact struct {
 
 // KB is an in-memory, indexed collection of triples. The zero value is
 // not usable; call New.
+//
+// A KB has a two-phase lifecycle: it is mutable while loading, and
+// Freeze compacts its indexes into flat CSR postings for the serving
+// phase (see freeze.go). All read methods work in either phase with
+// identical results; mutations transparently thaw a frozen KB.
 type KB struct {
 	name  string
 	dict  map[rdf.Term]TermID
@@ -42,6 +47,9 @@ type KB struct {
 	spo map[TermID]map[TermID][]TermID
 	pos map[TermID]map[TermID][]TermID
 	pso map[TermID]map[TermID][]TermID
+
+	// fr is the compacted read index; nil while mutable.
+	fr *frozen
 
 	size int
 }
@@ -67,8 +75,20 @@ func (k *KB) Size() int { return k.size }
 // NumTerms returns the number of interned terms.
 func (k *KB) NumTerms() int { return len(k.terms) }
 
+// canonTerm normalizes a term for interning: an xsd:string literal is
+// the same RDF 1.1 term as the plain literal with that lexical form
+// (Term.String already renders them identically), so both map to one
+// TermID and identity comparisons on IDs agree with term equality.
+func canonTerm(t rdf.Term) rdf.Term {
+	if t.Kind == rdf.Literal && t.Lang == "" && t.Datatype == rdf.XSDString {
+		t.Datatype = ""
+	}
+	return t
+}
+
 // Intern returns the ID for t, assigning a new one if t is unseen.
 func (k *KB) Intern(t rdf.Term) TermID {
+	t = canonTerm(t)
 	if id, ok := k.dict[t]; ok {
 		return id
 	}
@@ -80,7 +100,7 @@ func (k *KB) Intern(t rdf.Term) TermID {
 
 // Lookup returns the ID for t, or NoTerm if t was never interned.
 func (k *KB) Lookup(t rdf.Term) TermID {
-	if id, ok := k.dict[t]; ok {
+	if id, ok := k.dict[canonTerm(t)]; ok {
 		return id
 	}
 	return NoTerm
@@ -113,6 +133,7 @@ func (k *KB) AddIRIs(s, p, o string) bool {
 
 // AddFact inserts an already-interned fact, reporting whether it was new.
 func (k *KB) AddFact(s, p, o TermID) bool {
+	k.thaw()
 	po, ok := k.spo[s]
 	if !ok {
 		po = make(map[TermID][]TermID, 4)
@@ -146,7 +167,7 @@ func (k *KB) AddFact(s, p, o TermID) bool {
 
 // HasFact reports whether the fact (s,p,o) is present.
 func (k *KB) HasFact(s, p, o TermID) bool {
-	for _, x := range k.spo[s][p] {
+	for _, x := range k.ObjectsOf(s, p) {
 		if x == o {
 			return true
 		}
@@ -166,15 +187,29 @@ func (k *KB) Has(t rdf.Triple) bool {
 
 // ObjectsOf returns the objects o with p(s,o), in insertion order. The
 // returned slice is owned by the KB and must not be mutated.
-func (k *KB) ObjectsOf(s, p TermID) []TermID { return k.spo[s][p] }
+func (k *KB) ObjectsOf(s, p TermID) []TermID {
+	if k.fr != nil {
+		return k.fr.objectsOf(s, p)
+	}
+	return k.spo[s][p]
+}
 
 // SubjectsOf returns the subjects s with p(s,o), in insertion order. The
 // returned slice is owned by the KB and must not be mutated.
-func (k *KB) SubjectsOf(p, o TermID) []TermID { return k.pos[p][o] }
+func (k *KB) SubjectsOf(p, o TermID) []TermID {
+	if k.fr != nil {
+		return k.fr.subjectsOf(p, o)
+	}
+	return k.pos[p][o]
+}
 
 // PredicatesOfSubject returns the distinct predicates p such that s has
-// at least one p-fact, sorted by term for determinism.
+// at least one p-fact, sorted by term for determinism. The returned
+// slice is owned by the KB and must not be mutated.
 func (k *KB) PredicatesOfSubject(s TermID) []TermID {
+	if k.fr != nil {
+		return k.fr.predicatesOfSubject(s)
+	}
 	po := k.spo[s]
 	out := make([]TermID, 0, len(po))
 	for p := range po {
@@ -187,21 +222,58 @@ func (k *KB) PredicatesOfSubject(s TermID) []TermID {
 // PredicatesBetween returns the predicates p with p(s,o), sorted by term.
 func (k *KB) PredicatesBetween(s, o TermID) []TermID {
 	var out []TermID
+	k.EachPredicateBetween(s, o, func(p TermID) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// EachPredicateBetween calls fn for every predicate p with p(s,o), in
+// sorted-term order, without allocating. fn returning false stops the
+// iteration.
+func (k *KB) EachPredicateBetween(s, o TermID, fn func(p TermID) bool) {
+	if k.fr != nil {
+		fr := k.fr
+		if !fr.inRange(s) {
+			return
+		}
+		for e := fr.spoOff[s]; e < fr.spoOff[s+1]; e++ {
+			for _, x := range fr.spoObj[fr.spoPost[e]:fr.spoPost[e+1]] {
+				if x == o {
+					if !fn(fr.spoPred[e]) {
+						return
+					}
+					break
+				}
+			}
+		}
+		return
+	}
+	var preds []TermID
 	for p, objs := range k.spo[s] {
 		for _, x := range objs {
 			if x == o {
-				out = append(out, p)
+				preds = append(preds, p)
 				break
 			}
 		}
 	}
-	k.sortByTerm(out)
-	return out
+	k.sortByTerm(preds)
+	for _, p := range preds {
+		if !fn(p) {
+			return
+		}
+	}
 }
 
 // Relations returns every predicate that occurs in at least one fact,
-// sorted by term for determinism.
+// sorted by term for determinism. The returned slice is owned by the KB
+// when frozen and must not be mutated.
 func (k *KB) Relations() []TermID {
+	if k.fr != nil {
+		return k.fr.relations
+	}
 	out := make([]TermID, 0, len(k.pso))
 	for p := range k.pso {
 		out = append(out, p)
@@ -214,6 +286,10 @@ func (k *KB) Relations() []TermID {
 // visited in sorted-term order, objects in insertion order. fn returning
 // false stops the iteration.
 func (k *KB) EachFactOf(p TermID, fn func(s, o TermID) bool) {
+	if k.fr != nil {
+		k.fr.eachFactOf(p, fn)
+		return
+	}
 	so := k.pso[p]
 	subjects := make([]TermID, 0, len(so))
 	for s := range so {
@@ -230,8 +306,12 @@ func (k *KB) EachFactOf(p TermID, fn func(s, o TermID) bool) {
 }
 
 // SubjectsWith returns the distinct subjects that have at least one
-// p-fact, sorted by term.
+// p-fact, sorted by term. The returned slice is owned by the KB when
+// frozen and must not be mutated.
 func (k *KB) SubjectsWith(p TermID) []TermID {
+	if k.fr != nil {
+		return k.fr.subjectsWith(p)
+	}
 	so := k.pso[p]
 	out := make([]TermID, 0, len(so))
 	for s := range so {
@@ -241,8 +321,12 @@ func (k *KB) SubjectsWith(p TermID) []TermID {
 	return out
 }
 
-// NumFactsOf returns the number of facts of relation p.
+// NumFactsOf returns the number of facts of relation p. O(1) on a
+// frozen KB.
 func (k *KB) NumFactsOf(p TermID) int {
+	if k.fr != nil {
+		return k.fr.numFactsOf(p)
+	}
 	n := 0
 	for _, objs := range k.pso[p] {
 		n += len(objs)
@@ -251,7 +335,28 @@ func (k *KB) NumFactsOf(p TermID) int {
 }
 
 // NumSubjectsOf returns the number of distinct subjects of relation p.
-func (k *KB) NumSubjectsOf(p TermID) int { return len(k.pso[p]) }
+// O(1) on a frozen KB.
+func (k *KB) NumSubjectsOf(p TermID) int {
+	if k.fr != nil {
+		return k.fr.numSubjectsOf(p)
+	}
+	return len(k.pso[p])
+}
+
+// NumObjectsOf returns the number of distinct objects of relation p.
+// O(1) on a frozen KB.
+func (k *KB) NumObjectsOf(p TermID) int {
+	if k.fr != nil {
+		return k.fr.numObjectsOf(p)
+	}
+	objs := make(map[TermID]struct{})
+	for _, os := range k.pso[p] {
+		for _, o := range os {
+			objs[o] = struct{}{}
+		}
+	}
+	return len(objs)
+}
 
 // Triples materializes every stored triple, ordered by subject term,
 // then predicate term, then object insertion order. Intended for

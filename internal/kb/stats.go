@@ -29,21 +29,31 @@ func (rs RelStats) IsLiteralRelation() bool {
 	return rs.Facts > 0 && rs.LiteralObjects*2 > rs.Facts
 }
 
-// StatsOf computes RelStats for relation p.
+// StatsOf computes RelStats for relation p. On a frozen KB every count
+// is read from the precomputed cardinality tables in O(1).
 func (k *KB) StatsOf(p TermID) RelStats {
 	rs := RelStats{Relation: k.Term(p)}
-	objects := make(map[TermID]struct{})
-	for _, objs := range k.pso[p] {
-		rs.Subjects++
-		for _, o := range objs {
-			rs.Facts++
-			objects[o] = struct{}{}
-			if k.terms[o].IsLiteral() {
-				rs.LiteralObjects++
+	if fr := k.fr; fr != nil {
+		rs.Facts = fr.numFactsOf(p)
+		rs.Subjects = fr.numSubjectsOf(p)
+		rs.Objects = fr.numObjectsOf(p)
+		if fr.inRange(p) {
+			rs.LiteralObjects = int(fr.litObjs[p])
+		}
+	} else {
+		objects := make(map[TermID]struct{})
+		for _, objs := range k.pso[p] {
+			rs.Subjects++
+			for _, o := range objs {
+				rs.Facts++
+				objects[o] = struct{}{}
+				if k.terms[o].IsLiteral() {
+					rs.LiteralObjects++
+				}
 			}
 		}
+		rs.Objects = len(objects)
 	}
-	rs.Objects = len(objects)
 	if rs.Facts > 0 {
 		rs.Functionality = float64(rs.Subjects) / float64(rs.Facts)
 		rs.InverseFunctionality = float64(rs.Objects) / float64(rs.Facts)

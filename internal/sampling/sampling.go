@@ -21,12 +21,35 @@ package sampling
 
 import (
 	"fmt"
+	"sync"
 
 	"sofya/internal/endpoint"
 	"sofya/internal/ilp"
 	"sofya/internal/rdf"
 	"sofya/internal/sameas"
+	"sofya/internal/sparql"
 	"sofya/internal/strsim"
+)
+
+// Query templates of the sampling stages. Each sampler executes its
+// probes through endpoint.PreparedQuery handles compiled once per
+// validator (see Validator.prepare), so the per-probe cost is argument
+// binding — no query construction, parsing or planning. The object
+// probe is shared by Simple Sample Extraction and the UBS check stage:
+// with a caching endpoint the two stages deduplicate against each
+// other, exactly as their identical query texts used to.
+const (
+	// TmplSample randomly samples facts of one relation.
+	TmplSample = "SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n"
+	// TmplObjects fetches every object of r(x, ·).
+	TmplObjects = "SELECT ?y WHERE { $x $r ?y }"
+	// TmplOverlap is the UBS contradiction pattern
+	// a(x,y1) ∧ b(x,y2) ∧ ¬a(x,y2).
+	TmplOverlap = `SELECT ?x ?y1 ?y2 WHERE {
+  ?x $a ?y1 .
+  ?x $b ?y2 .
+  FILTER NOT EXISTS { ?x $a ?y2 }
+} ORDER BY RAND() LIMIT $n`
 )
 
 // Translator converts entity IRIs between the two KBs' namespaces.
@@ -77,6 +100,38 @@ type Validator struct {
 	// FetchWindow bounds how many candidate facts one sampling query
 	// retrieves before link-filtering (default 40× the sample size).
 	FetchWindow int
+
+	// prepared probe handles, compiled lazily once per validator.
+	prepOnce     sync.Once
+	prepErr      error
+	pBodySample  endpoint.PreparedQuery // on KPrime: TmplSample
+	pHeadObjects endpoint.PreparedQuery // on K: TmplObjects
+	pPrimeObjs   endpoint.PreparedQuery // on KPrime: TmplObjects
+	pOverlapBody endpoint.PreparedQuery // on KPrime: TmplOverlap
+	pOverlapHead endpoint.PreparedQuery // on K: TmplOverlap
+}
+
+// prepare compiles the validator's probe templates against both
+// endpoints, once.
+func (v *Validator) prepare() error {
+	v.prepOnce.Do(func() {
+		prep := func(ep endpoint.Endpoint, tmpl string, params ...string) endpoint.PreparedQuery {
+			if v.prepErr != nil {
+				return nil
+			}
+			pq, err := ep.Prepare(tmpl, params...)
+			if err != nil {
+				v.prepErr = fmt.Errorf("sampling: preparing probe against %s: %w", ep.Name(), err)
+			}
+			return pq
+		}
+		v.pBodySample = prep(v.KPrime, TmplSample, "r", "n")
+		v.pHeadObjects = prep(v.K, TmplObjects, "x", "r")
+		v.pPrimeObjs = prep(v.KPrime, TmplObjects, "x", "r")
+		v.pOverlapBody = prep(v.KPrime, TmplOverlap, "a", "b", "n")
+		v.pOverlapHead = prep(v.K, TmplOverlap, "a", "b", "n")
+	})
+	return v.prepErr
 }
 
 // BodyFact is one sampled r_sub fact translated into K space.
@@ -118,10 +173,10 @@ func (v *Validator) window(n int) int {
 // to n subject entities of rsub in K' whose facts translate into K, and
 // returns all their translated rsub facts.
 func (v *Validator) SampleBody(rsub string, n int) (*SampleSet, error) {
-	q := fmt.Sprintf(
-		"SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d",
-		rsub, v.window(n))
-	res, err := v.KPrime.Select(q)
+	if err := v.prepare(); err != nil {
+		return nil, err
+	}
+	res, err := v.pBodySample.Select(sparql.IRIArg(rsub), sparql.IntArg(v.window(n)))
 	if err != nil {
 		return nil, fmt.Errorf("sampling: body sample for <%s>: %w", rsub, err)
 	}
@@ -174,8 +229,10 @@ func (v *Validator) SampleBody(rsub string, n int) (*SampleSet, error) {
 // HeadObjects fetches every object of r(x, ·) from K — the full r-facts
 // of one sampled subject, as pcaconf requires.
 func (v *Validator) HeadObjects(r, x string) ([]rdf.Term, error) {
-	q := fmt.Sprintf("SELECT ?y WHERE { <%s> <%s> ?y }", x, r)
-	res, err := v.K.Select(q)
+	if err := v.prepare(); err != nil {
+		return nil, err
+	}
+	res, err := v.pHeadObjects.Select(sparql.IRIArg(x), sparql.IRIArg(r))
 	if err != nil {
 		return nil, fmt.Errorf("sampling: head objects of <%s> for <%s>: %w", r, x, err)
 	}

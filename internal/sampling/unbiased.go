@@ -5,6 +5,7 @@ import (
 
 	"sofya/internal/endpoint"
 	"sofya/internal/rdf"
+	"sofya/internal/sparql"
 )
 
 // Side selects which KB a contradiction search samples from.
@@ -94,18 +95,16 @@ func (u *UBSResult) CounterReverse() int {
 // Entity-entity relations only: rows with literal objects are skipped
 // (literal candidates are validated by the simple sampler alone).
 func (v *Validator) Contradictions(side Side, a, b, check string, m int) (*UBSResult, error) {
-	sampleEP, checkEP := v.KPrime, v.K
+	if err := v.prepare(); err != nil {
+		return nil, err
+	}
+	overlap, checkObjs := v.pOverlapBody, v.pHeadObjects
 	translate := v.Links.ToK
 	if side == HeadSide {
-		sampleEP, checkEP = v.K, v.KPrime
+		overlap, checkObjs = v.pOverlapHead, v.pPrimeObjs
 		translate = v.Links.FromK
 	}
-	q := fmt.Sprintf(`SELECT ?x ?y1 ?y2 WHERE {
-  ?x <%s> ?y1 .
-  ?x <%s> ?y2 .
-  FILTER NOT EXISTS { ?x <%s> ?y2 }
-} ORDER BY RAND() LIMIT %d`, a, b, a, v.window(m))
-	res, err := sampleEP.Select(q)
+	res, err := overlap.Select(sparql.IRIArg(a), sparql.IRIArg(b), sparql.IntArg(v.window(m)))
 	if err != nil {
 		return nil, fmt.Errorf("sampling: UBS overlap query (%s,%s): %w", a, b, err)
 	}
@@ -129,7 +128,7 @@ func (v *Validator) Contradictions(side Side, a, b, check string, m int) (*UBSRe
 		objs, cached := objsCache[x]
 		if !cached {
 			var err error
-			objs, err = fetchObjects(checkEP, check, x)
+			objs, err = fetchObjects(checkObjs, check, x)
 			if err != nil {
 				return nil, err
 			}
@@ -147,10 +146,11 @@ func (v *Validator) Contradictions(side Side, a, b, check string, m int) (*UBSRe
 	return out, nil
 }
 
-// fetchObjects retrieves all objects of r(x, ·) from ep.
-func fetchObjects(ep endpoint.Endpoint, r, x string) ([]rdf.Term, error) {
-	q := fmt.Sprintf("SELECT ?y WHERE { <%s> <%s> ?y }", x, r)
-	res, err := ep.Select(q)
+// fetchObjects retrieves all objects of r(x, ·) through the prepared
+// object probe — the same template Simple Sample Extraction uses, so a
+// caching endpoint deduplicates the two stages against each other.
+func fetchObjects(pq endpoint.PreparedQuery, r, x string) ([]rdf.Term, error) {
+	res, err := pq.Select(sparql.IRIArg(x), sparql.IRIArg(r))
 	if err != nil {
 		return nil, fmt.Errorf("sampling: UBS check objects of <%s> for <%s>: %w", r, x, err)
 	}

@@ -43,6 +43,10 @@ type Query struct {
 	OrderBy []OrderKey
 	// Limit is the maximum number of rows, or -1 for no limit.
 	Limit int
+	// LimitVar names the template parameter standing in for the LIMIT
+	// value ("LIMIT $n" in a prepared-query template); empty for a
+	// concrete limit.
+	LimitVar string
 	// Offset is the number of leading rows to skip.
 	Offset int
 }

@@ -1,0 +1,416 @@
+package sparql
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+)
+
+// exec.go is the final stage of the parse → compile → exec pipeline:
+// it runs a Prepared plan with bindings held in a flat []TermID
+// register file — no per-row maps, no string keys — and materializes
+// rdf.Term rows only for the surviving result set.
+
+// errStop aborts row enumeration early once LIMIT is satisfied.
+var errStop = fmt.Errorf("sparql: enumeration stopped")
+
+// execState is the per-execution scratch of one Prepared run.
+type execState struct {
+	p      *Prepared
+	k      *kb.KB
+	regs   []kb.TermID // register file; NoTerm = unbound
+	res    []kb.TermID // resolved parameter and constant ids
+	rnd    *rand.Rand
+	textFn func() string
+
+	// planned caches per-execution join orders of EXISTS subgroups;
+	// their bound-register set is fixed by the attachment point, so one
+	// plan serves every row.
+	planned map[*cgroup]*plannedGroup
+}
+
+// Exec runs the prepared query with positional arguments (one per
+// declared template parameter). It is safe for concurrent use.
+func (p *Prepared) Exec(args ...Arg) (*Result, error) {
+	if err := p.checkArgs(args); err != nil {
+		return nil, err
+	}
+	var textFn func() string
+	if p.tmpl != nil {
+		var text string
+		textFn = func() string {
+			if text == "" {
+				text = p.tmpl.text(args)
+			}
+			return text
+		}
+	} else {
+		textFn = func() string { return p.text }
+	}
+	return p.exec(args, textFn)
+}
+
+// exec runs the plan. textFn supplies the canonical query text for
+// RAND() stream derivation and is only invoked when the query draws
+// randomness.
+func (p *Prepared) exec(args []Arg, textFn func() string) (*Result, error) {
+	ex := &execState{
+		p:      p,
+		k:      p.eng.kb,
+		regs:   make([]kb.TermID, p.nslots),
+		res:    p.resolve(args),
+		textFn: textFn,
+	}
+	for i := range ex.regs {
+		ex.regs[i] = kb.NoTerm
+	}
+	limit, offset := p.limit, p.offset
+	if p.limitParam >= 0 {
+		limit = args[p.limitParam].n
+	}
+	if p.offsetParam >= 0 {
+		offset = args[p.offsetParam].n
+	}
+
+	if p.form == AskForm {
+		found := false
+		err := ex.runGroup(p.main, func() error {
+			found = true
+			return errStop
+		})
+		if err != nil && err != errStop {
+			return nil, err
+		}
+		return &Result{Ask: found}, nil
+	}
+	return ex.execSelect(limit, offset)
+}
+
+// runGroup plans the main group against the empty register file,
+// applies its pre-step filters and enumerates matches.
+func (ex *execState) runGroup(g *cgroup, emit func() error) error {
+	bound := make([]bool, len(ex.regs))
+	pl := ex.planGroup(g, bound)
+	for _, fi := range pl.pre {
+		ok, valid := g.filters[fi].expr.eval(ex).EBV()
+		if !valid || !ok {
+			return nil
+		}
+	}
+	return ex.join(g, &pl, 0, emit)
+}
+
+// execSelect enumerates bindings and assembles the SELECT result,
+// mirroring the reference evaluator's pipeline: project → DISTINCT →
+// ORDER keys → sort → OFFSET/LIMIT.
+func (ex *execState) execSelect(limit, offset int) (*Result, error) {
+	p := ex.p
+	res := &Result{Vars: p.vars}
+	if !p.projOK {
+		// A projected variable the pattern never binds drops every row.
+		return res, nil
+	}
+
+	type sortableRow struct {
+		row  []rdf.Term
+		keys []Value
+	}
+	var rows []sortableRow
+	var seen map[string]struct{}
+	var keyBuf []byte
+	if p.distinct {
+		seen = make(map[string]struct{})
+		keyBuf = make([]byte, 4*len(p.projSlot))
+	}
+	earlyStop := len(p.orderBy) == 0 && limit >= 0
+	target := offset + limit
+
+	err := ex.runGroup(p.main, func() error {
+		if p.distinct {
+			for i, s := range p.projSlot {
+				binary.LittleEndian.PutUint32(keyBuf[4*i:], uint32(ex.regs[s]))
+			}
+			if _, dup := seen[string(keyBuf)]; dup {
+				return nil
+			}
+			seen[string(keyBuf)] = struct{}{}
+		}
+		row := make([]rdf.Term, len(p.projSlot))
+		for i, s := range p.projSlot {
+			row[i] = ex.k.Term(ex.regs[s])
+		}
+		sr := sortableRow{row: row}
+		if len(p.orderBy) > 0 {
+			sr.keys = make([]Value, len(p.orderBy))
+			for i, k := range p.orderBy {
+				sr.keys[i] = k.Expr.eval(ex)
+			}
+		}
+		rows = append(rows, sr)
+		if earlyStop && len(rows) >= target {
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return nil, err
+	}
+
+	if len(p.orderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k := range p.orderBy {
+				c, ok := valuesOrder(rows[i].keys[k], rows[j].keys[k])
+				if !ok {
+					continue
+				}
+				if c == 0 {
+					continue
+				}
+				if p.orderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	start := offset
+	if start > len(rows) {
+		start = len(rows)
+	}
+	end := len(rows)
+	if limit >= 0 && start+limit < end {
+		end = start + limit
+	}
+	for _, sr := range rows[start:end] {
+		res.Rows = append(res.Rows, sr.row)
+	}
+	return res, nil
+}
+
+// join recurses over the planned steps, applying each step's attached
+// filters before descending.
+func (ex *execState) join(g *cgroup, pl *plannedGroup, step int, emit func() error) error {
+	if step == len(pl.order) {
+		return emit()
+	}
+	tp := g.pats[pl.order[step]]
+	return ex.match(tp, func() error {
+		for _, fi := range pl.after[step] {
+			ok, valid := g.filters[fi].expr.eval(ex).EBV()
+			if !valid || !ok {
+				return nil
+			}
+		}
+		return ex.join(g, pl, step+1, emit)
+	})
+}
+
+// match enumerates KB facts matching tp under the current registers,
+// binding free slots for the duration of each found() call. The case
+// analysis and iteration orders mirror the reference evaluator, which
+// is what keeps enumeration — and thus RAND() pairing — identical.
+func (ex *execState) match(tp cpattern, found func() error) error {
+	resolve := func(ct cterm) (kb.TermID, int32, bool) {
+		if !ct.isVar {
+			return ex.res[ct.res], -1, true // may be NoTerm: no matches
+		}
+		if v := ex.regs[ct.slot]; v != kb.NoTerm {
+			return v, ct.slot, true
+		}
+		return kb.NoTerm, ct.slot, false
+	}
+	sID, sSlot, sBound := resolve(tp.s)
+	pID, pSlot, pBound := resolve(tp.p)
+	oID, oSlot, oBound := resolve(tp.o)
+
+	// a concrete term unknown to the KB can never match
+	if (sBound && sID == kb.NoTerm) || (pBound && pID == kb.NoTerm) || (oBound && oID == kb.NoTerm) {
+		return nil
+	}
+
+	k := ex.k
+	// try binds the still-free slots to the candidate fact, checking
+	// duplicate-variable consistency (?x p ?x).
+	try := func(s, p, o kb.TermID) error {
+		var newSlots [3]int32
+		n := 0
+		bind := func(slot int32, id kb.TermID) bool {
+			if prev := ex.regs[slot]; prev != kb.NoTerm {
+				return prev == id
+			}
+			ex.regs[slot] = id
+			newSlots[n] = slot
+			n++
+			return true
+		}
+		ok := true
+		if !sBound {
+			ok = bind(sSlot, s)
+		}
+		if ok && !pBound {
+			ok = bind(pSlot, p)
+		}
+		if ok && !oBound {
+			ok = bind(oSlot, o)
+		}
+		var err error
+		if ok {
+			err = found()
+		}
+		for i := 0; i < n; i++ {
+			ex.regs[newSlots[i]] = kb.NoTerm
+		}
+		return err
+	}
+
+	switch {
+	case sBound && pBound && oBound:
+		if k.HasFact(sID, pID, oID) {
+			return try(sID, pID, oID)
+		}
+		return nil
+	case sBound && pBound:
+		for _, o := range k.ObjectsOf(sID, pID) {
+			if err := try(sID, pID, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pBound && oBound:
+		for _, s := range k.SubjectsOf(pID, oID) {
+			if err := try(s, pID, oID); err != nil {
+				return err
+			}
+		}
+		return nil
+	case sBound && oBound:
+		var outerErr error
+		k.EachPredicateBetween(sID, oID, func(p kb.TermID) bool {
+			if err := try(sID, p, oID); err != nil {
+				outerErr = err
+				return false
+			}
+			return true
+		})
+		return outerErr
+	case sBound:
+		for _, p := range k.PredicatesOfSubject(sID) {
+			for _, o := range k.ObjectsOf(sID, p) {
+				if err := try(sID, p, o); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case pBound:
+		var outerErr error
+		k.EachFactOf(pID, func(s, o kb.TermID) bool {
+			if err := try(s, pID, o); err != nil {
+				outerErr = err
+				return false
+			}
+			return true
+		})
+		return outerErr
+	case oBound:
+		for _, p := range k.Relations() {
+			for _, s := range k.SubjectsOf(p, oID) {
+				if err := try(s, p, oID); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		for _, p := range k.Relations() {
+			var outerErr error
+			k.EachFactOf(p, func(s, o kb.TermID) bool {
+				if err := try(s, p, o); err != nil {
+					outerErr = err
+					return false
+				}
+				return true
+			})
+			if outerErr != nil {
+				return outerErr
+			}
+		}
+		return nil
+	}
+}
+
+// --- expression environment (env) over the register file ---
+
+func (ex *execState) lookupVar(name string) (rdf.Term, bool) {
+	slot, ok := ex.p.slots[name]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	id := ex.regs[slot]
+	if id == kb.NoTerm {
+		return rdf.Term{}, false
+	}
+	return ex.k.Term(id), true
+}
+
+// rng derives the execution's PRNG from the engine seed and the
+// canonical query text on first use, exactly like the reference
+// engine: queries that never call RAND() pay neither the text
+// rendering nor the PRNG construction.
+func (ex *execState) rng() *rand.Rand {
+	if ex.rnd == nil {
+		h := fnv.New64a()
+		io.WriteString(h, ex.textFn())
+		ex.rnd = rand.New(rand.NewSource(ex.p.eng.seed*1_000_003 ^ int64(h.Sum64())))
+	}
+	return ex.rnd
+}
+
+// evalExists runs a compiled EXISTS subgroup against the current
+// registers. The subgroup's plan is computed on first evaluation and
+// reused: the bound-register set at an attachment point is invariant
+// across rows.
+func (ex *execState) evalExists(g *GroupPattern) (bool, error) {
+	cg, ok := ex.p.exists[g]
+	if !ok || cg == nil {
+		return false, fmt.Errorf("sparql: EXISTS group was not compiled")
+	}
+	if ex.planned == nil {
+		ex.planned = make(map[*cgroup]*plannedGroup, 2)
+	}
+	pl := ex.planned[cg]
+	if pl == nil {
+		bound := make([]bool, len(ex.regs))
+		for i, v := range ex.regs {
+			bound[i] = v != kb.NoTerm
+		}
+		planned := ex.planGroup(cg, bound)
+		pl = &planned
+		ex.planned[cg] = pl
+	}
+	for _, fi := range pl.pre {
+		ok, valid := cg.filters[fi].expr.eval(ex).EBV()
+		if !valid || !ok {
+			return false, nil
+		}
+	}
+	found := false
+	err := ex.join(cg, pl, 0, func() error {
+		found = true
+		return errStop
+	})
+	if err != nil && err != errStop {
+		return false, err
+	}
+	return found, nil
+}
+
+var _ env = (*execState)(nil)

@@ -38,7 +38,9 @@ func (q *Query) String() string {
 			sb.WriteString(" ASC(" + k.Expr.String() + ")")
 		}
 	}
-	if q.Limit >= 0 {
+	if q.LimitVar != "" {
+		sb.WriteString("\nLIMIT $" + q.LimitVar)
+	} else if q.Limit >= 0 {
 		fmt.Fprintf(&sb, "\nLIMIT %d", q.Limit)
 	}
 	if q.Offset > 0 {

@@ -1,0 +1,53 @@
+package sparql
+
+import "testing"
+
+// FuzzParse exercises the SPARQL parser with a seed corpus drawn from
+// the aligner's real query templates (text and prepared forms). Beyond
+// not crashing, it checks the canonicalization invariant the engine's
+// RAND() determinism rests on: any query that parses must serialize to
+// canonical text that reparses, and that canonical text must be a
+// fixpoint of String ∘ Parse.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// discover window / body sample
+		"SELECT ?x ?y WHERE { ?x <http://yago-knowledge.org/resource/wasBornIn> ?y } ORDER BY RAND() LIMIT 200",
+		"SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n",
+		// predicates-between / equivalence probe
+		"SELECT ?p WHERE { <http://x/a> ?p <http://x/b> }",
+		"SELECT ?p WHERE { $s ?p $o }",
+		// literal attributes
+		"SELECT ?p ?v WHERE { <http://x/a> ?p ?v . FILTER ISLITERAL(?v) }",
+		"SELECT ?p ?v WHERE { $s ?p ?v . FILTER ISLITERAL(?v) }",
+		// head objects
+		"SELECT ?y WHERE { <http://x/a> <http://x/p> ?y }",
+		// UBS overlap
+		`SELECT ?x ?y1 ?y2 WHERE {
+  ?x <http://x/a> ?y1 .
+  ?x <http://x/b> ?y2 .
+  FILTER NOT EXISTS { ?x <http://x/a> ?y2 }
+} ORDER BY RAND() LIMIT 560`,
+		// general coverage
+		"PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT DISTINCT ?x WHERE { ?x a foaf:Person ; foaf:knows ?y . FILTER (?x != ?y && STRLEN(STR(?x)) > 3) } ORDER BY DESC(?x) LIMIT 10 OFFSET 2",
+		`ASK { ?x ?p "lit"@en . FILTER REGEX(?x, "a.c", "i") }`,
+		`SELECT * WHERE { ?s ?p "5"^^<http://www.w3.org/2001/XMLSchema#integer> . FILTER (?o > 4.5 || !BOUND(?z)) }`,
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER EXISTS { ?y <http://x/q> ?x } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := Parse(in)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical text does not reparse: %v\ninput:  %q\ncanon:  %q", err, in, canon)
+		}
+		if again := q2.String(); again != canon {
+			t.Fatalf("canonicalization is not a fixpoint:\nfirst:  %q\nsecond: %q", canon, again)
+		}
+	})
+}

@@ -1,7 +1,12 @@
 package sparql
 
+// naive_test.go preserves the original tree-walking evaluator as a
+// reference implementation. It is the seed engine this repository
+// started from, kept verbatim (modulo renames) so the differential
+// oracle (oracle_test.go) can prove the compiled slot-based engine
+// produces byte-identical results — including ORDER BY RAND() streams.
+
 import (
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -13,87 +18,26 @@ import (
 	"sofya/internal/rdf"
 )
 
-// Result is the outcome of evaluating a query.
-type Result struct {
-	// Vars are the projected variable names, in projection order.
-	Vars []string
-	// Rows hold one term per projected variable. A row never contains
-	// zero terms for SELECT results produced by this engine (all
-	// projected variables are bound by the BGP or the row is dropped).
-	Rows [][]rdf.Term
-	// Ask is the boolean answer for ASK queries.
-	Ask bool
-	// Truncated is set by access-limited endpoints when the row cap
-	// cut the result short. The engine itself never sets it.
-	Truncated bool
-}
-
-// Bindings returns row i as a var→term map.
-func (r *Result) Bindings(i int) map[string]rdf.Term {
-	m := make(map[string]rdf.Term, len(r.Vars))
-	for j, v := range r.Vars {
-		m[v] = r.Rows[i][j]
-	}
-	return m
-}
-
-// Column returns the index of variable v in the projection, or -1.
-func (r *Result) Column(v string) int {
-	for i, name := range r.Vars {
-		if name == v {
-			return i
-		}
-	}
-	return -1
-}
-
-// Engine evaluates parsed queries against a KB.
-//
-// An Engine is stateless apart from its KB and seed, so it is safe for
-// concurrent Eval calls. RAND() is deterministic and order-independent:
-// each Eval draws from a PRNG derived from the engine seed and a
-// fingerprint of the query text, so a given query sees the same random
-// stream under a given seed no matter which other queries ran before
-// or are running concurrently. This is what lets caching and
-// coalescing endpoint decorators, and parallel aligners, reproduce the
-// sequential results byte for byte.
-type Engine struct {
+// naiveEngine evaluates parsed queries against a KB by tree-walking
+// with map-based bindings — the pre-compilation engine.
+type naiveEngine struct {
 	kb   *kb.KB
 	seed int64
 }
 
-// NewEngine returns an engine over k with seed 1.
-func NewEngine(k *kb.KB) *Engine { return &Engine{kb: k, seed: 1} }
-
-// NewEngineSeeded returns an engine with an explicit RAND() seed.
-func NewEngineSeeded(k *kb.KB, seed int64) *Engine { return &Engine{kb: k, seed: seed} }
-
-// KB returns the underlying knowledge base.
-func (e *Engine) KB() *kb.KB { return e.kb }
-
-// EvalString parses and evaluates a query.
-func (e *Engine) EvalString(query string) (*Result, error) {
-	q, err := Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	return e.Eval(q)
-}
-
-// errStop aborts row enumeration early once LIMIT is satisfied.
-var errStop = errors.New("sparql: enumeration stopped")
+func newNaiveEngine(k *kb.KB, seed int64) *naiveEngine { return &naiveEngine{kb: k, seed: seed} }
 
 // Eval evaluates a parsed query.
-func (e *Engine) Eval(q *Query) (*Result, error) {
+func (e *naiveEngine) Eval(q *Query) (*Result, error) {
 	if q.Where == nil {
 		return nil, fmt.Errorf("sparql: query has no WHERE pattern")
 	}
-	ev := &evaluator{kb: e.kb, seed: e.seed, query: q}
+	ev := &naiveEvaluator{kb: e.kb, seed: e.seed, query: q}
 
 	switch q.Form {
 	case AskForm:
 		found := false
-		err := ev.run(q.Where, nil, func(b binding) error {
+		err := ev.run(q.Where, nil, func(b naiveBinding) error {
 			found = true
 			return errStop
 		})
@@ -108,7 +52,15 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 	}
 }
 
-func (e *Engine) evalSelect(q *Query, ev *evaluator) (*Result, error) {
+func (e *naiveEngine) EvalString(query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(q)
+}
+
+func (e *naiveEngine) evalSelect(q *Query, ev *naiveEvaluator) (*Result, error) {
 	vars := q.Vars
 	res := &Result{Vars: vars}
 
@@ -118,29 +70,23 @@ func (e *Engine) evalSelect(q *Query, ev *evaluator) (*Result, error) {
 	}
 	var rows []sortableRow
 	seen := map[string]bool{}
-	// fast path: stop enumeration early when ordering cannot change
-	// which rows qualify.
 	earlyStop := len(q.OrderBy) == 0 && q.Limit >= 0
 	target := -1
 	if earlyStop {
 		target = q.Offset + q.Limit
 	}
 
-	err := ev.run(q.Where, nil, func(b binding) error {
+	err := ev.run(q.Where, nil, func(b naiveBinding) error {
 		row := make([]rdf.Term, len(vars))
 		for i, v := range vars {
 			if id, ok := b[v]; ok {
 				row[i] = e.kb.Term(id)
 			} else {
-				// unbound projected variable: drop the row; our BGP
-				// evaluator binds every pattern variable, so this only
-				// happens when the projection names a variable absent
-				// from the pattern.
 				return nil
 			}
 		}
 		if q.Distinct {
-			key := rowKey(row)
+			key := naiveRowKey(row)
 			if seen[key] {
 				return nil
 			}
@@ -149,7 +95,7 @@ func (e *Engine) evalSelect(q *Query, ev *evaluator) (*Result, error) {
 		sr := sortableRow{row: row}
 		if len(q.OrderBy) > 0 {
 			sr.keys = make([]Value, len(q.OrderBy))
-			envb := &bindingEnv{ev: ev, b: b}
+			envb := &naiveBindingEnv{ev: ev, b: b}
 			for i, k := range q.OrderBy {
 				sr.keys[i] = k.Expr.eval(envb)
 			}
@@ -183,7 +129,6 @@ func (e *Engine) evalSelect(q *Query, ev *evaluator) (*Result, error) {
 		})
 	}
 
-	// OFFSET / LIMIT
 	start := q.Offset
 	if start > len(rows) {
 		start = len(rows)
@@ -198,7 +143,7 @@ func (e *Engine) evalSelect(q *Query, ev *evaluator) (*Result, error) {
 	return res, nil
 }
 
-func rowKey(row []rdf.Term) string {
+func naiveRowKey(row []rdf.Term) string {
 	var sb strings.Builder
 	for _, t := range row {
 		sb.WriteString(t.String())
@@ -207,20 +152,17 @@ func rowKey(row []rdf.Term) string {
 	return sb.String()
 }
 
-// binding maps variable names to interned term IDs.
-type binding map[string]kb.TermID
+// naiveBinding maps variable names to interned term IDs.
+type naiveBinding map[string]kb.TermID
 
-type evaluator struct {
+type naiveEvaluator struct {
 	kb    *kb.KB
 	seed  int64
 	query *Query
 	rand  *rand.Rand
 }
 
-// rng returns the evaluator's PRNG, built on first use from the engine
-// seed and a fingerprint of the query text. Queries that never call
-// RAND() pay neither the serialization nor the PRNG construction.
-func (ev *evaluator) rng() *rand.Rand {
+func (ev *naiveEvaluator) rng() *rand.Rand {
 	if ev.rand == nil {
 		h := fnv.New64a()
 		io.WriteString(h, ev.query.String())
@@ -229,13 +171,12 @@ func (ev *evaluator) rng() *rand.Rand {
 	return ev.rand
 }
 
-// bindingEnv adapts a binding to the expression env interface.
-type bindingEnv struct {
-	ev *evaluator
-	b  binding
+type naiveBindingEnv struct {
+	ev *naiveEvaluator
+	b  naiveBinding
 }
 
-func (be *bindingEnv) lookupVar(name string) (rdf.Term, bool) {
+func (be *naiveBindingEnv) lookupVar(name string) (rdf.Term, bool) {
 	id, ok := be.b[name]
 	if !ok {
 		return rdf.Term{}, false
@@ -243,11 +184,11 @@ func (be *bindingEnv) lookupVar(name string) (rdf.Term, bool) {
 	return be.ev.kb.Term(id), true
 }
 
-func (be *bindingEnv) rng() *rand.Rand { return be.ev.rng() }
+func (be *naiveBindingEnv) rng() *rand.Rand { return be.ev.rng() }
 
-func (be *bindingEnv) evalExists(g *GroupPattern) (bool, error) {
+func (be *naiveBindingEnv) evalExists(g *GroupPattern) (bool, error) {
 	found := false
-	err := be.ev.run(g, be.b, func(binding) error {
+	err := be.ev.run(g, be.b, func(naiveBinding) error {
 		found = true
 		return errStop
 	})
@@ -257,20 +198,13 @@ func (be *bindingEnv) evalExists(g *GroupPattern) (bool, error) {
 	return found, nil
 }
 
-// planned is a join plan: patterns in execution order with the filters
-// that become evaluable after each step.
-type planned struct {
+type naivePlanned struct {
 	steps        []TriplePattern
-	filtersAfter [][]Expr // same length as steps
-	preFilters   []Expr   // filters with no pattern dependencies
+	filtersAfter [][]Expr
+	preFilters   []Expr
 }
 
-// plan orders patterns greedily: prefer patterns with more positions
-// already concrete/bound; tie-break by smaller relation when the
-// predicate is concrete; then by input order. Filters attach to the
-// first step after which all their variables are bound; EXISTS filters
-// attach to the last step (their inner variables are existential).
-func (ev *evaluator) plan(g *GroupPattern, pre binding) planned {
+func (ev *naiveEvaluator) plan(g *GroupPattern, pre naiveBinding) naivePlanned {
 	n := len(g.Triples)
 	used := make([]bool, n)
 	bound := map[string]bool{}
@@ -321,8 +255,7 @@ func (ev *evaluator) plan(g *GroupPattern, pre binding) planned {
 		}
 	}
 
-	pl := planned{steps: order, filtersAfter: make([][]Expr, n)}
-	// recompute cumulative bound sets along the order
+	pl := naivePlanned{steps: order, filtersAfter: make([][]Expr, n)}
 	cum := make([]map[string]bool, n+1)
 	cum[0] = map[string]bool{}
 	for v := range pre {
@@ -369,8 +302,6 @@ func (ev *evaluator) plan(g *GroupPattern, pre binding) planned {
 			}
 		}
 		if !placed {
-			// variables never bound: evaluate at the end (BOUND(?v)
-			// legitimately queries unbound vars).
 			if n == 0 {
 				pl.preFilters = append(pl.preFilters, f)
 			} else {
@@ -381,44 +312,13 @@ func (ev *evaluator) plan(g *GroupPattern, pre binding) planned {
 	return pl
 }
 
-// exprVars collects the variables mentioned by an expression.
-func exprVars(e Expr) []string {
-	var out []string
-	var walk func(Expr)
-	walk = func(e Expr) {
-		switch x := e.(type) {
-		case exVar:
-			out = append(out, x.name)
-		case exNot:
-			walk(x.arg)
-		case exAnd:
-			walk(x.l)
-			walk(x.r)
-		case exOr:
-			walk(x.l)
-			walk(x.r)
-		case exCompare:
-			walk(x.l)
-			walk(x.r)
-		case exCall:
-			for _, a := range x.args {
-				walk(a)
-			}
-		}
-	}
-	walk(e)
-	return out
-}
-
-// run enumerates all bindings of g's pattern extending pre, invoking
-// emit for each. emit returning errStop aborts cleanly.
-func (ev *evaluator) run(g *GroupPattern, pre binding, emit func(binding) error) error {
+func (ev *naiveEvaluator) run(g *GroupPattern, pre naiveBinding, emit func(naiveBinding) error) error {
 	pl := ev.plan(g, pre)
-	b := make(binding, len(pre)+4)
+	b := make(naiveBinding, len(pre)+4)
 	for k, v := range pre {
 		b[k] = v
 	}
-	envb := &bindingEnv{ev: ev, b: b}
+	envb := &naiveBindingEnv{ev: ev, b: b}
 	for _, f := range pl.preFilters {
 		ok, valid := f.eval(envb).EBV()
 		if !valid || !ok {
@@ -428,7 +328,7 @@ func (ev *evaluator) run(g *GroupPattern, pre binding, emit func(binding) error)
 	return ev.join(pl, 0, b, envb, emit)
 }
 
-func (ev *evaluator) join(pl planned, step int, b binding, envb *bindingEnv, emit func(binding) error) error {
+func (ev *naiveEvaluator) join(pl naivePlanned, step int, b naiveBinding, envb *naiveBindingEnv, emit func(naiveBinding) error) error {
 	if step == len(pl.steps) {
 		return emit(b)
 	}
@@ -448,16 +348,13 @@ func (ev *evaluator) join(pl planned, step int, b binding, envb *bindingEnv, emi
 	})
 }
 
-// matchPattern enumerates KB facts matching tp under b, temporarily
-// binding new variables. For each match it calls found with the list of
-// newly-bound variable names, then undo with the same list.
-func (ev *evaluator) matchPattern(tp TriplePattern, b binding,
+func (ev *naiveEvaluator) matchPattern(tp TriplePattern, b naiveBinding,
 	found func(newVars []string) error, undo func(newVars []string)) error {
 
 	resolve := func(pt PatternTerm) (kb.TermID, string, bool) {
 		if !pt.IsVar {
 			id := ev.kb.Lookup(pt.Term)
-			return id, "", true // id may be NoTerm: no matches possible
+			return id, "", true
 		}
 		if id, ok := b[pt.Var]; ok {
 			return id, "", true
@@ -469,13 +366,10 @@ func (ev *evaluator) matchPattern(tp TriplePattern, b binding,
 	pID, pVar, pBound := resolve(tp.P)
 	oID, oVar, oBound := resolve(tp.O)
 
-	// a concrete term unknown to the KB can never match
 	if (sBound && sID == kb.NoTerm) || (pBound && pID == kb.NoTerm) || (oBound && oID == kb.NoTerm) {
 		return nil
 	}
 
-	// try binds the still-free positions to the candidate fact, checking
-	// duplicate-variable consistency (?x p ?x).
 	try := func(s, p, o kb.TermID) error {
 		var newVars []string
 		bind := func(name string, id kb.TermID) bool {

@@ -1,0 +1,268 @@
+package sparql
+
+// oracle_test.go is the differential oracle: it runs the preserved
+// tree-walking reference evaluator (naive_test.go) and the compiled
+// slot-based engine over randomized synthetic worlds and asserts
+// identical results — byte-identical rows for every ordered query,
+// ORDER BY RAND() streams included, and identical row multisets for
+// unordered queries (whose row order SPARQL leaves undefined and the
+// cost-based join order may legitimately permute).
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+	"sofya/internal/synth"
+)
+
+// oracleQueries builds a corpus of query texts over a world KB,
+// covering the aligner's real probe shapes plus joins, filters,
+// DISTINCT, EXISTS and paging.
+func oracleQueries(k *kb.KB, rng *rand.Rand) []string {
+	rels := k.Relations()
+	relIRI := func() string {
+		t := k.Term(rels[rng.Intn(len(rels))])
+		return t.Value
+	}
+	subjIRI := func(p kb.TermID) string {
+		subs := k.SubjectsWith(p)
+		return k.Term(subs[rng.Intn(len(subs))]).Value
+	}
+	var qs []string
+	for i := 0; i < 6; i++ {
+		r := relIRI()
+		// discover / body-sample shape
+		qs = append(qs, fmt.Sprintf(
+			"SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d", r, 5+rng.Intn(40)))
+		// head-objects shape
+		p := rels[rng.Intn(len(rels))]
+		qs = append(qs, fmt.Sprintf(
+			"SELECT ?y WHERE { <%s> <%s> ?y }", subjIRI(p), k.Term(p).Value))
+		// predicates-between shape
+		x := subjIRI(p)
+		objs := k.ObjectsOf(k.LookupIRI(x), p)
+		if len(objs) > 0 {
+			qs = append(qs, fmt.Sprintf(
+				"SELECT ?p WHERE { <%s> ?p %s }", x, k.Term(objs[rng.Intn(len(objs))])))
+		}
+		// literal-attributes shape
+		qs = append(qs, fmt.Sprintf(
+			"SELECT ?p ?v WHERE { <%s> ?p ?v . FILTER ISLITERAL(?v) }", x))
+		// UBS overlap shape (two-pattern join + NOT EXISTS + RAND)
+		a, b := relIRI(), relIRI()
+		qs = append(qs, fmt.Sprintf(`SELECT ?x ?y1 ?y2 WHERE {
+  ?x <%s> ?y1 .
+  ?x <%s> ?y2 .
+  FILTER NOT EXISTS { ?x <%s> ?y2 }
+} ORDER BY RAND() LIMIT %d`, a, b, a, 5+rng.Intn(30)))
+		// generic joins, distinct, paging, filters
+		qs = append(qs, fmt.Sprintf(
+			"SELECT DISTINCT ?x WHERE { ?x <%s> ?y . ?y ?p ?z }", relIRI()))
+		qs = append(qs, fmt.Sprintf(
+			"SELECT ?x ?y WHERE { ?x <%s> ?y . FILTER (STRLEN(STR(?y)) > %d) } LIMIT %d OFFSET %d",
+			relIRI(), rng.Intn(20), 1+rng.Intn(10), rng.Intn(5)))
+		qs = append(qs, fmt.Sprintf(
+			"SELECT ?x WHERE { ?x <%s> ?y . FILTER EXISTS { ?x <%s> ?z } } ORDER BY ?x", relIRI(), relIRI()))
+		qs = append(qs, fmt.Sprintf("ASK { ?x <%s> ?y . ?x <%s> ?z }", relIRI(), relIRI()))
+		qs = append(qs, fmt.Sprintf(
+			"SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY DESC(?y) ?x LIMIT 7", relIRI()))
+	}
+	return qs
+}
+
+func rowsEqual(a, b *Result) error {
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return fmt.Errorf("row %d col %d: %v vs %v", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+func rowMultiset(r *Result) map[string]int {
+	m := map[string]int{}
+	for _, row := range r.Rows {
+		var sb strings.Builder
+		for _, t := range row {
+			sb.WriteString(t.String())
+			sb.WriteByte(0)
+		}
+		m[sb.String()]++
+	}
+	return m
+}
+
+func multisetEqual(a, b *Result) error {
+	ma, mb := rowMultiset(a), rowMultiset(b)
+	if len(ma) != len(mb) {
+		return fmt.Errorf("distinct row counts differ: %d vs %d", len(ma), len(mb))
+	}
+	for k, v := range ma {
+		if mb[k] != v {
+			return fmt.Errorf("row %q: count %d vs %d", k, v, mb[k])
+		}
+	}
+	return nil
+}
+
+// TestOracleCompiledMatchesNaive compares the compiled engine against
+// the reference evaluator over randomized synth worlds, frozen and
+// unfrozen.
+func TestOracleCompiledMatchesNaive(t *testing.T) {
+	for _, worldSeed := range []int64{2016, 7, 99} {
+		spec := synth.TinySpec()
+		spec.Seed = worldSeed
+		w := synth.Generate(spec)
+		for _, freeze := range []bool{false, true} {
+			for _, k := range []*kb.KB{w.Yago, w.Dbp} {
+				if freeze {
+					k.Freeze()
+				}
+				rng := rand.New(rand.NewSource(worldSeed * 13))
+				naive := newNaiveEngine(k, worldSeed)
+				compiled := NewEngineSeeded(k, worldSeed)
+				for _, qtext := range oracleQueries(k, rng) {
+					q, err := Parse(qtext)
+					if err != nil {
+						t.Fatalf("parse %q: %v", qtext, err)
+					}
+					want, err := naive.Eval(q)
+					if err != nil {
+						t.Fatalf("naive eval %q: %v", qtext, err)
+					}
+					got, err := compiled.Eval(q)
+					if err != nil {
+						t.Fatalf("compiled eval %q: %v", qtext, err)
+					}
+					if want.Ask != got.Ask {
+						t.Fatalf("ASK differs for %q: %v vs %v", qtext, want.Ask, got.Ask)
+					}
+					if len(q.OrderBy) > 0 {
+						if err := rowsEqual(want, got); err != nil {
+							t.Fatalf("ordered results differ (freeze=%v) for\n%s\n%v", freeze, qtext, err)
+						}
+					} else if err := multisetEqual(want, got); err != nil {
+						t.Fatalf("results differ (freeze=%v) for\n%s\n%v", freeze, qtext, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOraclePreparedMatchesText proves the prepared-template fast path
+// produces byte-identical results — RAND() streams included — to the
+// text path for the aligner's probe templates.
+func TestOraclePreparedMatchesText(t *testing.T) {
+	spec := synth.TinySpec()
+	w := synth.Generate(spec)
+	k := w.Yago
+	k.Freeze()
+	e := NewEngineSeeded(k, 42)
+
+	rels := k.Relations()
+	sample := MustParseTemplate(
+		"SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n", "r", "n")
+	overlap := MustParseTemplate(`SELECT ?x ?y1 ?y2 WHERE {
+  ?x $a ?y1 .
+  ?x $b ?y2 .
+  FILTER NOT EXISTS { ?x $a ?y2 }
+} ORDER BY RAND() LIMIT $n`, "a", "b", "n")
+
+	pSample, err := e.Prepare(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOverlap, err := e.Prepare(overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < len(rels) && i < 12; i++ {
+		r := k.Term(rels[i]).Value
+		r2 := k.Term(rels[(i+1)%len(rels)]).Value
+
+		text := fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d", r, 17)
+		want, err := e.EvalString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pSample.Exec(IRIArg(r), IntArg(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rowsEqual(want, got); err != nil {
+			t.Fatalf("prepared sample differs from text path for <%s>: %v", r, err)
+		}
+
+		text = fmt.Sprintf(`SELECT ?x ?y1 ?y2 WHERE {
+  ?x <%s> ?y1 .
+  ?x <%s> ?y2 .
+  FILTER NOT EXISTS { ?x <%s> ?y2 }
+} ORDER BY RAND() LIMIT %d`, r, r2, r, 23)
+		want, err = e.EvalString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = pOverlap.Exec(IRIArg(r), IRIArg(r2), IntArg(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rowsEqual(want, got); err != nil {
+			t.Fatalf("prepared overlap differs from text path for <%s>,<%s>: %v", r, r2, err)
+		}
+	}
+}
+
+// TestOracleTemplateTextCanonical: a template's instantiated canonical
+// text equals the parse → String round trip of the interpolated text,
+// the invariant RAND() stream identity rests on.
+func TestOracleTemplateTextCanonical(t *testing.T) {
+	tm := MustParseTemplate(
+		"SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n", "r", "n")
+	got, err := tm.Text(IRIArg("http://x/p"), IntArg(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse("SELECT ?x ?y WHERE { ?x <http://x/p> ?y } ORDER BY RAND() LIMIT 50")
+	if want := q.String(); got != want {
+		t.Fatalf("canonical texts differ:\n%q\n%q", got, want)
+	}
+
+	tm2 := MustParseTemplate("SELECT ?p WHERE { $s ?p $o }", "s", "o")
+	got2, err := tm2.Text(IRIArg("http://x/a"), TermArg(rdf.NewIRI("http://x/b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := MustParse("SELECT ?p WHERE { <http://x/a> ?p <http://x/b> }")
+	if want := q2.String(); got2 != want {
+		t.Fatalf("canonical texts differ:\n%q\n%q", got2, want)
+	}
+}
+
+// TestPlanCacheReuse: repeated queries of one shape compile once.
+func TestPlanCacheReuse(t *testing.T) {
+	k := kb.New("pc")
+	k.AddIRIs("http://x/a", "http://x/p", "http://x/b")
+	k.AddIRIs("http://x/b", "http://x/p", "http://x/c")
+	k.Freeze()
+	e := NewEngine(k)
+	for i := 0; i < 20; i++ {
+		q := fmt.Sprintf("SELECT ?y WHERE { <http://x/%c> <http://x/p> ?y } LIMIT %d", 'a'+byte(i%3), i+1)
+		if _, err := e.EvalString(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.CachedPlans(); got != 1 {
+		t.Fatalf("CachedPlans = %d, want 1 (one shape)", got)
+	}
+}

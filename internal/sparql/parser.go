@@ -51,7 +51,16 @@ type parser struct {
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
-func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// take consumes and returns the current token. The trailing EOF token
+// is never consumed, so peek stays in bounds on any malformed input.
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
 func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -148,11 +157,17 @@ func (p *parser) query() (*Query, error) {
 	for {
 		switch {
 		case p.keyword("LIMIT"):
-			n, err := p.integer()
-			if err != nil {
-				return nil, err
+			if t := p.peek(); t.kind == tokVar {
+				// "LIMIT $n": a template parameter slot.
+				p.pos++
+				q.LimitVar = t.text
+			} else {
+				n, err := p.integer()
+				if err != nil {
+					return nil, err
+				}
+				q.Limit = n
 			}
-			q.Limit = n
 		case p.keyword("OFFSET"):
 			n, err := p.integer()
 			if err != nil {

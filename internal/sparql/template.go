@@ -1,0 +1,294 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sofya/internal/rdf"
+)
+
+// Arg is one bound value of a prepared-query template: an RDF term for
+// a `$name` slot in a triple pattern, or an integer for `LIMIT $name`.
+type Arg struct {
+	term  rdf.Term
+	n     int
+	isInt bool
+}
+
+// TermArg binds an RDF term to a pattern parameter.
+func TermArg(t rdf.Term) Arg { return Arg{term: t} }
+
+// IRIArg binds an IRI to a pattern parameter.
+func IRIArg(iri string) Arg { return Arg{term: rdf.NewIRI(iri)} }
+
+// IntArg binds an integer to a LIMIT parameter.
+func IntArg(n int) Arg { return Arg{n: n, isInt: true} }
+
+// Key renders the argument canonically, for cache keys.
+func (a Arg) Key() string {
+	if a.isInt {
+		return strconv.Itoa(a.n)
+	}
+	return a.term.String()
+}
+
+// Template is a parsed, parameterized query: a query AST in which the
+// variables named by params stand for constants supplied at execution
+// time. Pattern parameters are written `$name` in term positions and
+// bound with TermArg/IRIArg; a `LIMIT $name` parameter is bound with
+// IntArg. A Template is immutable and safe for concurrent use.
+//
+// The canonical text of an instantiated template (Text) is byte-for-byte
+// the text the same query would have after a parse → String round trip,
+// which is what keeps RAND() streams — derived from canonical query
+// text — identical between the prepared path and the text path.
+type Template struct {
+	q      *Query
+	params []string
+	source string
+
+	// segs/gaps split the canonical text at parameter sites: the
+	// instantiated text is segs[0] + render(gaps[0]) + segs[1] + ...
+	segs []string
+	gaps []tmplGap
+
+	// isInt[i] reports whether parameter i is a LIMIT parameter.
+	isInt []bool
+}
+
+type tmplGap struct {
+	param int
+	isInt bool
+}
+
+// ParseTemplate parses a query template. Every name in params must
+// occur in the template — as `$name` in triple-pattern positions or as
+// `LIMIT $name` — and may occur several times. Parameters may not be
+// projected and may not appear inside FILTER or ORDER BY expressions
+// (those constants belong to the template's shape, not its arguments).
+func ParseTemplate(text string, params ...string) (*Template, error) {
+	if strings.ContainsRune(text, 0) {
+		return nil, fmt.Errorf("sparql: template contains NUL")
+	}
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{q: q, params: params, source: text, isInt: make([]bool, len(params))}
+	idx := make(map[string]int, len(params))
+	for i, name := range params {
+		if name == "" {
+			return nil, fmt.Errorf("sparql: empty template parameter name")
+		}
+		if _, dup := idx[name]; dup {
+			return nil, fmt.Errorf("sparql: duplicate template parameter %q", name)
+		}
+		idx[name] = i
+	}
+
+	for _, v := range q.Vars {
+		if _, isParam := idx[v]; isParam {
+			return nil, fmt.Errorf("sparql: template parameter $%s cannot be projected", v)
+		}
+	}
+	// Parameters may appear only in triple patterns of groups that the
+	// canonical serializer rewrites — the main group and FILTER [NOT]
+	// EXISTS groups (at any nesting of those). They may not appear in
+	// value expressions, nor in EXISTS groups buried inside boolean
+	// expressions (which pattern rewriting cannot reach).
+	var exprErr error
+	flagParamVar := func(name, where string) {
+		if _, isParam := idx[name]; isParam && exprErr == nil {
+			exprErr = fmt.Errorf("sparql: template parameter $%s used in %s", name, where)
+		}
+	}
+	var checkParamFree func(g *GroupPattern)
+	checkParamFree = func(g *GroupPattern) {
+		for _, tp := range g.Triples {
+			for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+				if pt.IsVar {
+					flagParamVar(pt.Var, "an EXISTS nested inside an expression")
+				}
+			}
+		}
+		for _, f := range g.Filters {
+			eachExists(f, func(ex exExists) { checkParamFree(ex.group) })
+		}
+	}
+	var checkGroup func(g *GroupPattern)
+	checkGroup = func(g *GroupPattern) {
+		for _, f := range g.Filters {
+			if ex, ok := f.(exExists); ok {
+				checkGroup(ex.group)
+				continue
+			}
+			for _, name := range exprVars(f) {
+				flagParamVar(name, "a FILTER expression")
+			}
+			eachExists(f, func(ex exExists) { checkParamFree(ex.group) })
+		}
+	}
+	checkGroup(q.Where)
+	for _, k := range q.OrderBy {
+		for _, name := range exprVars(k.Expr) {
+			flagParamVar(name, "ORDER BY")
+		}
+	}
+	if exprErr != nil {
+		return nil, exprErr
+	}
+
+	// Mark every parameter site with a sentinel, serialize canonically,
+	// and split the text at the sentinels. Marks contain NUL, which the
+	// template text was checked not to contain.
+	seen := make([]bool, len(params))
+	mark := func(i int) string { return "\x00#" + strconv.Itoa(i) + "\x00" }
+	marked := q.MapPatterns(func(tp TriplePattern) TriplePattern {
+		sub := func(pt PatternTerm) PatternTerm {
+			if pt.IsVar {
+				if i, ok := idx[pt.Var]; ok {
+					seen[i] = true
+					return Concrete(rdf.NewIRI(mark(i)))
+				}
+			}
+			return pt
+		}
+		return TriplePattern{S: sub(tp.S), P: sub(tp.P), O: sub(tp.O)}
+	})
+	if q.LimitVar != "" {
+		i, ok := idx[q.LimitVar]
+		if !ok {
+			return nil, fmt.Errorf("sparql: LIMIT $%s is not a declared parameter", q.LimitVar)
+		}
+		seen[i] = true
+		t.isInt[i] = true
+		marked.LimitVar = mark(i)
+	}
+	for i, name := range params {
+		if !seen[i] {
+			return nil, fmt.Errorf("sparql: template parameter $%s does not occur in the query", name)
+		}
+	}
+
+	canon := marked.String()
+	rest := canon
+	for {
+		at := strings.Index(rest, "\x00#")
+		if at < 0 {
+			break
+		}
+		end := strings.Index(rest[at+2:], "\x00")
+		if end < 0 {
+			return nil, fmt.Errorf("sparql: internal template mark error")
+		}
+		i, err := strconv.Atoi(rest[at+2 : at+2+end])
+		if err != nil {
+			return nil, fmt.Errorf("sparql: internal template mark error: %v", err)
+		}
+		seg, tail := rest[:at], rest[at+2+end+1:]
+		if t.isInt[i] {
+			// drop the "$" that introduced the limit parameter
+			seg = strings.TrimSuffix(seg, "$")
+		} else {
+			// drop the surrounding <...> of the sentinel IRI: the bound
+			// term renders its own delimiters
+			seg = strings.TrimSuffix(seg, "<")
+			tail = strings.TrimPrefix(tail, ">")
+		}
+		t.segs = append(t.segs, seg)
+		t.gaps = append(t.gaps, tmplGap{param: i, isInt: t.isInt[i]})
+		rest = tail
+	}
+	t.segs = append(t.segs, rest)
+	return t, nil
+}
+
+// MustParseTemplate is ParseTemplate panicking on error, for static
+// templates.
+func MustParseTemplate(text string, params ...string) *Template {
+	t, err := ParseTemplate(text, params...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Params returns the declared parameter names in positional order.
+func (t *Template) Params() []string { return t.params }
+
+// Source returns the template text ParseTemplate was given.
+func (t *Template) Source() string { return t.source }
+
+// Form returns the query form of the template.
+func (t *Template) Form() Form { return t.q.Form }
+
+// checkArgs validates positional args against the declared parameters.
+func (t *Template) checkArgs(args []Arg) error {
+	if len(args) != len(t.params) {
+		return fmt.Errorf("sparql: template needs %d args, got %d", len(t.params), len(args))
+	}
+	for i, a := range args {
+		if a.isInt != t.isInt[i] {
+			kind := "a term"
+			if t.isInt[i] {
+				kind = "an integer"
+			}
+			return fmt.Errorf("sparql: template parameter $%s needs %s argument", t.params[i], kind)
+		}
+		if a.isInt && a.n < 0 {
+			return fmt.Errorf("sparql: template parameter $%s: negative LIMIT", t.params[i])
+		}
+	}
+	return nil
+}
+
+// Text renders the canonical text of the template instantiated with
+// args — exactly the String() of the equivalent concrete query.
+func (t *Template) Text(args ...Arg) (string, error) {
+	if err := t.checkArgs(args); err != nil {
+		return "", err
+	}
+	return t.text(args), nil
+}
+
+// text is Text after argument validation.
+func (t *Template) text(args []Arg) string {
+	var sb strings.Builder
+	for i, seg := range t.segs {
+		sb.WriteString(seg)
+		if i < len(t.gaps) {
+			g := t.gaps[i]
+			if g.isInt {
+				sb.WriteString(strconv.Itoa(args[g.param].n))
+			} else {
+				sb.WriteString(args[g.param].term.String())
+			}
+		}
+	}
+	return sb.String()
+}
+
+// eachExists walks an expression tree, applying fn to every EXISTS node
+// in syntactic order.
+func eachExists(e Expr, fn func(exExists)) {
+	switch x := e.(type) {
+	case exExists:
+		fn(x)
+	case exNot:
+		eachExists(x.arg, fn)
+	case exAnd:
+		eachExists(x.l, fn)
+		eachExists(x.r, fn)
+	case exOr:
+		eachExists(x.l, fn)
+		eachExists(x.r, fn)
+	case exCompare:
+		eachExists(x.l, fn)
+		eachExists(x.r, fn)
+	case exCall:
+		for _, a := range x.args {
+			eachExists(a, fn)
+		}
+	}
+}

@@ -42,6 +42,20 @@
 // Endpoints also expose context-aware methods (SelectCtx / AskCtx) for
 // cancellation and deadlines, and NewAlignerCache memoizes per-relation
 // results with singleflighted misses for query-time serving.
+//
+// # Prepared queries
+//
+// Every endpoint compiles query templates for repeated execution:
+//
+//	pq, _ := k.Prepare("SELECT ?p WHERE { $x ?p $y }", "x", "y")
+//	res, _ := pq.Select(sofya.IRIArg(a), sofya.IRIArg(b))
+//
+// Against a local endpoint a prepared execution binds arguments into
+// the compiled plan's registers directly — no parsing, no planning, no
+// text interpolation — and runs on the KB's frozen CSR indexes. The
+// aligner's own probe stages run entirely on prepared templates; see
+// ARCHITECTURE.md for the parse → compile → exec pipeline and the KB
+// freeze lifecycle.
 package sofya
 
 import (
@@ -89,7 +103,11 @@ const (
 	XSDInteger = rdf.XSDInteger
 )
 
-// NewKB returns an empty knowledge base with the given name.
+// NewKB returns an empty knowledge base with the given name. A KB is
+// mutable while loading; creating a local endpoint over it (or calling
+// KB.Freeze directly) compacts its indexes into flat CSR postings with
+// precomputed per-relation statistics for the serving phase. Reads
+// behave identically in both phases; mutations transparently thaw.
 func NewKB(name string) *KB { return kb.New(name) }
 
 // LoadKB reads N-Triples into a new KB.
@@ -118,7 +136,23 @@ type (
 	CoalescingEndpoint = endpoint.Coalescing
 	// EndpointCacheStats counts a CachingEndpoint's hits and misses.
 	EndpointCacheStats = endpoint.CacheStats
+	// PreparedQuery is a query template bound to an endpoint: compile
+	// once, execute per call with positional arguments. Local endpoints
+	// skip parsing, planning and interpolation; remote ones fall back
+	// to canonical text. Results are byte-identical to the text path.
+	PreparedQuery = endpoint.PreparedQuery
+	// QueryArg is one bound argument of a prepared query.
+	QueryArg = sparql.Arg
 )
+
+// TermArg binds an RDF term to a prepared-query parameter.
+func TermArg(t Term) QueryArg { return sparql.TermArg(t) }
+
+// IRIArg binds an IRI to a prepared-query parameter.
+func IRIArg(iri string) QueryArg { return sparql.IRIArg(iri) }
+
+// IntArg binds an integer to a prepared LIMIT parameter.
+func IntArg(n int) QueryArg { return sparql.IntArg(n) }
 
 // NewLocalEndpoint builds an unrestricted endpoint over k with a
 // deterministic RAND() seed.
