@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -252,33 +253,18 @@ type discoveryProbe struct {
 	lit  rdf.Term
 }
 
-// discover samples r-facts from K, translates them into K', and
-// collects candidate predicates by co-occurrence. The sampled facts
-// are first reduced to translatable probes (pure link lookups), then
-// the probes fan out over the worker pool; hit counts merge
-// commutatively, so the result is independent of probe completion
-// order.
-func (a *Aligner) discover(r string) ([]*candidate, error) {
-	window := a.cfg.FetchWindow
-	if window <= 0 {
-		window = 40 * a.cfg.DiscoverySize
-		if window < 200 {
-			window = 200
-		}
-	}
-	// the sample query occupies an endpoint like any stage task
-	a.sem <- struct{}{}
-	res, err := a.pDiscover.Select(sparql.IRIArg(r), sparql.IntArg(window))
-	<-a.sem
+// discoverProbes pulls the discovery sample stream until DiscoverySize
+// translatable probes are collected, then closes it — rows past that
+// point are never pulled from the endpoint.
+func (a *Aligner) discoverProbes(r string, window int) ([]discoveryProbe, error) {
+	rows, err := a.pDiscover.Stream(context.Background(), sparql.IRIArg(r), sparql.IntArg(window))
 	if err != nil {
-		return nil, fmt.Errorf("core: discovery sample for <%s>: %w", r, err)
+		return nil, err
 	}
-
+	defer rows.Close()
 	var probes []discoveryProbe
-	for _, row := range res.Rows {
-		if len(probes) >= a.cfg.DiscoverySize {
-			break
-		}
+	for len(probes) < a.cfg.DiscoverySize && rows.Next() {
+		row := rows.Row()
 		x, y := row[0], row[1]
 		if !x.IsIRI() {
 			continue
@@ -309,6 +295,35 @@ func (a *Aligner) discover(r string) ([]*candidate, error) {
 				lit: y,
 			})
 		}
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return probes, nil
+}
+
+// discover samples r-facts from K, translates them into K', and
+// collects candidate predicates by co-occurrence. The sample window is
+// consumed as a stream: once DiscoverySize translatable probes are
+// found, the stream closes and the endpoint stops producing — the
+// window rows past that point are never materialized. The collected
+// probes then fan out over the worker pool; hit counts merge
+// commutatively, so the result is independent of probe completion
+// order.
+func (a *Aligner) discover(r string) ([]*candidate, error) {
+	window := a.cfg.FetchWindow
+	if window <= 0 {
+		window = 40 * a.cfg.DiscoverySize
+		if window < 200 {
+			window = 200
+		}
+	}
+	// the sample stream occupies an endpoint like any stage task
+	a.sem <- struct{}{}
+	probes, err := a.discoverProbes(r, window)
+	<-a.sem
+	if err != nil {
+		return nil, fmt.Errorf("core: discovery sample for <%s>: %w", r, err)
 	}
 
 	partial := make([]map[string]int, len(probes))
@@ -499,14 +514,18 @@ func (a *Aligner) headSiblings(r string, c *candidate) ([]string, error) {
 			continue
 		}
 		checked++
-		res, err := a.pHeadPreds.Select(sparql.IRIArg(f.X), sparql.IRIArg(f.Y.Value))
+		rows, err := a.pHeadPreds.Stream(context.Background(), sparql.IRIArg(f.X), sparql.IRIArg(f.Y.Value))
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range res.Rows {
+		for rows.Next() {
+			row := rows.Row()
 			if row[0].IsIRI() && row[0].Value != r {
 				counts[row[0].Value]++
 			}
+		}
+		if err := rows.Err(); err != nil {
+			return nil, err
 		}
 	}
 	type sib struct {

@@ -195,6 +195,25 @@ func (l *Local) capAndCount(res *sparql.Result) {
 	l.mu.Unlock()
 }
 
+// maxRows reads the quota's row cap for a stream about to start; a
+// SetQuota during the stream does not retroactively re-cap it.
+func (l *Local) maxRows() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.quota.MaxRows
+}
+
+// countStreamed records the statistics of one finished stream: only the
+// rows the consumer actually pulled are charged.
+func (l *Local) countStreamed(rows int, truncated bool) {
+	l.mu.Lock()
+	l.stats.Rows += rows
+	if truncated {
+		l.stats.Truncations++
+	}
+	l.mu.Unlock()
+}
+
 // SelectCtx implements Endpoint.
 func (l *Local) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
 	if err := l.admitCtx(ctx); err != nil {

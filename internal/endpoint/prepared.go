@@ -26,6 +26,13 @@ type PreparedQuery interface {
 	Ask(args ...sparql.Arg) (bool, error)
 	// AskCtx is Ask honoring ctx.
 	AskCtx(ctx context.Context, args ...sparql.Arg) (bool, error)
+	// Stream executes the template as a SELECT query returning rows on
+	// demand. Draining the stream yields exactly the rows SelectCtx
+	// would return, byte for byte; closing it early lets endpoints
+	// abort the remaining work. ctx covers the stream's admission;
+	// implementations without a native streaming path drain first and
+	// replay. Callers must Close the returned Rows.
+	Stream(ctx context.Context, args ...sparql.Arg) (Rows, error)
 }
 
 // preparedKey renders a stable cache/coalescing key for one execution
@@ -98,6 +105,26 @@ func (p *localPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, e
 	return res.Ask, nil
 }
 
+// Stream implements PreparedQuery natively: the compiled plan's join
+// tree produces rows as the caller pulls them, so an early Close stops
+// the engine mid-join — the LIMIT-heavy probe sites stop paying for
+// rows they discard. The execution is charged against the quota like
+// any query; the row cap and row statistics apply to the rows actually
+// pulled.
+func (p *localPrepared) Stream(ctx context.Context, args ...sparql.Arg) (Rows, error) {
+	if err := p.l.admitCtx(ctx); err != nil {
+		return nil, err
+	}
+	if p.plan.Template().Form() != sparql.SelectForm {
+		return nil, errNeedSelect
+	}
+	it, err := p.plan.Iter(args...)
+	if err != nil {
+		return nil, err
+	}
+	return &localRows{l: p.l, it: it, maxRows: p.l.maxRows()}, nil
+}
+
 // textPrepared renders the template to canonical query text per call
 // and sends it through the endpoint's text methods — the fallback for
 // endpoints without an in-process engine (the HTTP client, test
@@ -141,6 +168,19 @@ func (p *textPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, er
 		return false, err
 	}
 	return p.ep.AskCtx(ctx, text)
+}
+
+// Stream implements PreparedQuery by drain-then-iterate: endpoints
+// without an in-process engine (the HTTP client, test doubles) answer
+// whole results, so the stream replays a completed SelectCtx. Rows are
+// byte-identical to the native streaming path; only the early-close
+// saving is unavailable.
+func (p *textPrepared) Stream(ctx context.Context, args ...sparql.Arg) (Rows, error) {
+	res, err := p.SelectCtx(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return newReplayRows(res), nil
 }
 
 var (

@@ -1,0 +1,119 @@
+package endpoint
+
+import (
+	"sofya/internal/rdf"
+	"sofya/internal/sparql"
+)
+
+// Rows is a streamed SELECT result: rows arrive on demand, and closing
+// the stream early aborts the remaining work wherever the endpoint can
+// (a Local endpoint stops its join tree; remote endpoints have already
+// drained). Row slices are read-only and remain valid after further
+// Next calls. A Rows is not safe for concurrent use; independent
+// streams from one endpoint are.
+//
+// The iteration protocol matches sparql.RowIter: Next advances and
+// reports whether a row is available, Row returns it, Err reports the
+// error that ended iteration (nil after clean exhaustion or Close), and
+// Close is idempotent and implied by exhaustion. Truncated reports —
+// once the stream has ended — whether a row cap cut it short.
+type Rows interface {
+	Vars() []string
+	Next() bool
+	Row() []rdf.Term
+	Err() error
+	Truncated() bool
+	Close()
+}
+
+// replayRows streams an in-memory Result — the drain-then-iterate
+// fallback for endpoints without a native streaming path, and the
+// replay path of the caching decorator.
+type replayRows struct {
+	vars  []string
+	rows  [][]rdf.Term
+	trunc bool
+	i     int
+	row   []rdf.Term
+}
+
+// newReplayRows wraps a drained result. The rows are shared, not
+// copied: treat them as read-only, as with any endpoint result.
+func newReplayRows(res *sparql.Result) *replayRows {
+	return &replayRows{vars: res.Vars, rows: res.Rows, trunc: res.Truncated}
+}
+
+func (r *replayRows) Vars() []string { return r.vars }
+
+func (r *replayRows) Next() bool {
+	if r.i >= len(r.rows) {
+		r.row = nil
+		return false
+	}
+	r.row = r.rows[r.i]
+	r.i++
+	return true
+}
+
+func (r *replayRows) Row() []rdf.Term { return r.row }
+func (r *replayRows) Err() error      { return nil }
+func (r *replayRows) Truncated() bool { return r.trunc }
+func (r *replayRows) Close() {
+	r.i = len(r.rows)
+	r.row = nil
+}
+
+// localRows adapts a sparql.RowIter to the endpoint contract: it
+// enforces the quota's row cap while rows are pulled and charges the
+// endpoint's row statistics exactly once, whether the stream is
+// drained, capped, or closed early.
+type localRows struct {
+	l       *Local
+	it      *sparql.RowIter
+	maxRows int
+	n       int
+	trunc   bool
+	done    bool
+}
+
+func (r *localRows) Vars() []string  { return r.it.Vars() }
+func (r *localRows) Row() []rdf.Term { return r.it.Row() }
+func (r *localRows) Err() error      { return r.it.Err() }
+func (r *localRows) Truncated() bool { return r.trunc }
+
+func (r *localRows) Next() bool {
+	if r.done {
+		return false
+	}
+	if r.maxRows > 0 && r.n >= r.maxRows {
+		// The cap is reached; like the drain path, only flag truncation
+		// if the engine actually had another row to give.
+		if r.it.Next() {
+			r.trunc = true
+		}
+		r.finish()
+		return false
+	}
+	if !r.it.Next() {
+		r.finish()
+		return false
+	}
+	r.n++
+	return true
+}
+
+func (r *localRows) Close() { r.finish() }
+
+func (r *localRows) finish() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.it.Close()
+	r.l.countStreamed(r.n, r.trunc)
+}
+
+var (
+	_ Rows = (*replayRows)(nil)
+	_ Rows = (*localRows)(nil)
+)

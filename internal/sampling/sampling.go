@@ -20,6 +20,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -171,19 +172,22 @@ func (v *Validator) window(n int) int {
 
 // SampleBody performs Simple Sample Extraction for rsub: it samples up
 // to n subject entities of rsub in K' whose facts translate into K, and
-// returns all their translated rsub facts.
+// returns all their translated rsub facts. The sample window streams
+// row by row — the full window is never materialized at once.
 func (v *Validator) SampleBody(rsub string, n int) (*SampleSet, error) {
 	if err := v.prepare(); err != nil {
 		return nil, err
 	}
-	res, err := v.pBodySample.Select(sparql.IRIArg(rsub), sparql.IntArg(v.window(n)))
+	rows, err := v.pBodySample.Stream(context.Background(), sparql.IRIArg(rsub), sparql.IntArg(v.window(n)))
 	if err != nil {
 		return nil, fmt.Errorf("sampling: body sample for <%s>: %w", rsub, err)
 	}
+	defer rows.Close()
 	set := &SampleSet{}
 	seen := map[string]bool{}
 	factsBySubject := map[string][]BodyFact{}
-	for _, row := range res.Rows {
+	for rows.Next() {
+		row := rows.Row()
 		xp, yp := row[0], row[1]
 		if !xp.IsIRI() {
 			continue
@@ -219,6 +223,9 @@ func (v *Validator) SampleBody(rsub string, n int) (*SampleSet, error) {
 			set.Subjects = append(set.Subjects, x)
 		}
 		factsBySubject[x] = append(factsBySubject[x], BodyFact{XPrime: xp, YPrime: yp, X: x, Y: y})
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("sampling: body sample for <%s>: %w", rsub, err)
 	}
 	for _, x := range set.Subjects {
 		set.Facts = append(set.Facts, factsBySubject[x]...)

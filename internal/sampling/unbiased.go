@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 
 	"sofya/internal/endpoint"
@@ -56,8 +57,9 @@ func (c Contradiction) RefutesReverse() bool { return c.CheckY2 }
 type UBSResult struct {
 	// Rows are the translated, checked sample rows.
 	Rows []Contradiction
-	// Sampled counts raw rows returned by the overlap query before
-	// translation filtering.
+	// Sampled counts raw overlap rows inspected before translation
+	// filtering. The overlap query streams, so rows past the m-th
+	// translated contradiction are never pulled or counted.
 	Sampled int
 	// Untranslatable counts rows dropped for missing sameAs links.
 	Untranslatable int
@@ -104,16 +106,16 @@ func (v *Validator) Contradictions(side Side, a, b, check string, m int) (*UBSRe
 		overlap, checkObjs = v.pOverlapHead, v.pPrimeObjs
 		translate = v.Links.FromK
 	}
-	res, err := overlap.Select(sparql.IRIArg(a), sparql.IRIArg(b), sparql.IntArg(v.window(m)))
+	rows, err := overlap.Stream(context.Background(), sparql.IRIArg(a), sparql.IRIArg(b), sparql.IntArg(v.window(m)))
 	if err != nil {
 		return nil, fmt.Errorf("sampling: UBS overlap query (%s,%s): %w", a, b, err)
 	}
-	out := &UBSResult{Sampled: len(res.Rows)}
+	defer rows.Close()
+	out := &UBSResult{}
 	objsCache := map[string][]rdf.Term{}
-	for _, row := range res.Rows {
-		if len(out.Rows) >= m {
-			break
-		}
+	for len(out.Rows) < m && rows.Next() {
+		out.Sampled++
+		row := rows.Row()
 		xp, y1p, y2p := row[0], row[1], row[2]
 		if !xp.IsIRI() || !y1p.IsIRI() || !y2p.IsIRI() {
 			continue
@@ -142,6 +144,9 @@ func (v *Validator) Contradictions(side Side, a, b, check string, m int) (*UBSRe
 			CheckY2: containsIRI(objs, y2),
 		}
 		out.Rows = append(out.Rows, c)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("sampling: UBS overlap query (%s,%s): %w", a, b, err)
 	}
 	return out, nil
 }

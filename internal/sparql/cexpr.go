@@ -1,0 +1,309 @@
+package sparql
+
+import (
+	"math/rand"
+	"regexp"
+
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+)
+
+// cexpr.go lowers filter and ORDER BY expressions into closure chains at
+// compile time, so the hot join loop never walks an AST or resolves a
+// variable name: variables are pre-resolved to register slots, constants
+// are folded to Values once, and EXISTS subgroups become probes over
+// their pre-compiled cgroups. The lowered closures evaluate against the
+// execution's register file with exactly the semantics of Expr.eval over
+// an execState — which is what keeps compiled, streamed, and reference
+// results byte-identical.
+
+// cexpr is a compiled expression: it evaluates against one execution's
+// register file. Closures are immutable and shared by concurrent
+// executions of the same Prepared.
+type cexpr func(ex *execState) Value
+
+// cpred is a compiled filter predicate — the effective boolean value of
+// a lowered expression, as the join loop consumes it.
+type cpred func(ex *execState) (ok, valid bool)
+
+// lowerPred lowers a filter expression to its EBV form.
+func (c *compiler) lowerPred(e Expr) cpred {
+	f := c.lowerExpr(e)
+	return func(ex *execState) (bool, bool) { return f(ex).EBV() }
+}
+
+// constEnv evaluates constant subtrees at compile time. Lowering only
+// uses it on expressions without variables, BOUND, RAND or EXISTS, so
+// none of its methods are ever reached.
+type constEnv struct{}
+
+func (constEnv) lookupVar(string) (rdf.Term, bool)      { return rdf.Term{}, false }
+func (constEnv) rng() *rand.Rand                        { return nil }
+func (constEnv) evalExists(*GroupPattern) (bool, error) { return false, nil }
+
+// isConstExpr reports whether e evaluates to the same Value on every
+// row: no variables, no randomness, no pattern probes.
+func isConstExpr(e Expr) bool {
+	switch x := e.(type) {
+	case exConst, exNum, exBool:
+		return true
+	case exNot:
+		return isConstExpr(x.arg)
+	case exAnd:
+		return isConstExpr(x.l) && isConstExpr(x.r)
+	case exOr:
+		return isConstExpr(x.l) && isConstExpr(x.r)
+	case exCompare:
+		return isConstExpr(x.l) && isConstExpr(x.r)
+	case exCall:
+		if x.name == "RAND" || x.name == "BOUND" {
+			return false
+		}
+		for _, a := range x.args {
+			if !isConstExpr(a) {
+				return false
+			}
+		}
+		return true
+	default: // exVar, exExists
+		return false
+	}
+}
+
+// lowerExpr compiles e into a closure over the register file.
+func (c *compiler) lowerExpr(e Expr) cexpr {
+	if isConstExpr(e) {
+		v := e.eval(constEnv{})
+		return func(*execState) Value { return v }
+	}
+	switch x := e.(type) {
+	case exVar:
+		slot, ok := c.slots[x.name]
+		if !ok {
+			// a variable no pattern binds: unbound on every row
+			return func(*execState) Value { return errValue() }
+		}
+		return func(ex *execState) Value {
+			id := ex.regs[slot]
+			if id == kb.NoTerm {
+				return errValue()
+			}
+			return termValue(ex.k.Term(id))
+		}
+	case exNot:
+		arg := c.lowerExpr(x.arg)
+		return func(ex *execState) Value {
+			b, ok := arg(ex).EBV()
+			if !ok {
+				return errValue()
+			}
+			return boolValue(!b)
+		}
+	case exAnd:
+		l, r := c.lowerExpr(x.l), c.lowerExpr(x.r)
+		return func(ex *execState) Value {
+			lb, lok := l(ex).EBV()
+			if lok && !lb {
+				return boolValue(false)
+			}
+			rb, rok := r(ex).EBV()
+			if rok && !rb {
+				return boolValue(false)
+			}
+			if !lok || !rok {
+				return errValue()
+			}
+			return boolValue(true)
+		}
+	case exOr:
+		l, r := c.lowerExpr(x.l), c.lowerExpr(x.r)
+		return func(ex *execState) Value {
+			lb, lok := l(ex).EBV()
+			if lok && lb {
+				return boolValue(true)
+			}
+			rb, rok := r(ex).EBV()
+			if rok && rb {
+				return boolValue(true)
+			}
+			if !lok || !rok {
+				return errValue()
+			}
+			return boolValue(false)
+		}
+	case exCompare:
+		return c.lowerCompare(x)
+	case exCall:
+		return c.lowerCall(x)
+	case exExists:
+		cg := c.exists[x.group]
+		neg := x.negate
+		return func(ex *execState) Value {
+			found, err := ex.runExists(cg)
+			if err != nil {
+				return errValue()
+			}
+			if neg {
+				found = !found
+			}
+			return boolValue(found)
+		}
+	default:
+		// unreachable with the current parser; evaluate conservatively
+		return func(*execState) Value { return errValue() }
+	}
+}
+
+// lowerCompare dispatches the comparison operator once at compile time.
+func (c *compiler) lowerCompare(x exCompare) cexpr {
+	l, r := c.lowerExpr(x.l), c.lowerExpr(x.r)
+	switch x.op {
+	case "=", "!=":
+		neq := x.op == "!="
+		return func(ex *execState) Value {
+			lv, rv := l(ex), r(ex)
+			if lv.IsErr() || rv.IsErr() {
+				return errValue()
+			}
+			eq, ok := valuesEqual(lv, rv)
+			if !ok {
+				return errValue()
+			}
+			if neq {
+				eq = !eq
+			}
+			return boolValue(eq)
+		}
+	}
+	var test func(c int) bool
+	switch x.op {
+	case "<":
+		test = func(c int) bool { return c < 0 }
+	case "<=":
+		test = func(c int) bool { return c <= 0 }
+	case ">":
+		test = func(c int) bool { return c > 0 }
+	case ">=":
+		test = func(c int) bool { return c >= 0 }
+	default:
+		return func(*execState) Value { return errValue() }
+	}
+	return func(ex *execState) Value {
+		lv, rv := l(ex), r(ex)
+		if lv.IsErr() || rv.IsErr() {
+			return errValue()
+		}
+		cmp, ok := valuesOrder(lv, rv)
+		if !ok {
+			return errValue()
+		}
+		return boolValue(test(cmp))
+	}
+}
+
+// lowerCall compiles a builtin call: BOUND and RAND read the execution
+// state directly, the hottest unary predicates are inlined, REGEX with a
+// constant pattern precompiles its automaton, and the rest evaluate
+// their lowered arguments strictly and share callBuiltin with the
+// reference evaluator.
+func (c *compiler) lowerCall(x exCall) cexpr {
+	switch x.name {
+	case "BOUND":
+		v, ok := x.args[0].(exVar)
+		if !ok {
+			return func(*execState) Value { return errValue() }
+		}
+		slot, ok := c.slots[v.name]
+		if !ok {
+			return func(*execState) Value { return boolValue(false) }
+		}
+		return func(ex *execState) Value {
+			return boolValue(ex.regs[slot] != kb.NoTerm)
+		}
+	case "RAND":
+		return func(ex *execState) Value {
+			return numValue(ex.rng().Float64())
+		}
+	case "ISIRI", "ISURI":
+		a := c.lowerExpr(x.args[0])
+		return func(ex *execState) Value {
+			v := a(ex)
+			if v.IsErr() {
+				return errValue()
+			}
+			return boolValue(v.kind == vTerm && v.t.IsIRI())
+		}
+	case "ISLITERAL":
+		a := c.lowerExpr(x.args[0])
+		return func(ex *execState) Value {
+			v := a(ex)
+			if v.IsErr() {
+				return errValue()
+			}
+			return boolValue(v.kind == vTerm && v.t.IsLiteral())
+		}
+	case "ISBLANK":
+		a := c.lowerExpr(x.args[0])
+		return func(ex *execState) Value {
+			v := a(ex)
+			if v.IsErr() {
+				return errValue()
+			}
+			return boolValue(v.kind == vTerm && v.t.IsBlank())
+		}
+	case "REGEX":
+		if re, ok := c.constRegex(x); ok {
+			a := c.lowerExpr(x.args[0])
+			return func(ex *execState) Value {
+				v := a(ex)
+				if v.IsErr() {
+					return errValue()
+				}
+				text, ok := v.asString()
+				if !ok || re == nil {
+					return errValue()
+				}
+				return boolValue(re.MatchString(text))
+			}
+		}
+	}
+	args := make([]cexpr, len(x.args))
+	for i, a := range x.args {
+		args[i] = c.lowerExpr(a)
+	}
+	name := x.name
+	return func(ex *execState) Value {
+		vals := make([]Value, len(args))
+		for i, a := range args {
+			vals[i] = a(ex)
+			if vals[i].IsErr() {
+				return errValue()
+			}
+		}
+		return callBuiltin(name, vals)
+	}
+}
+
+// constRegex precompiles REGEX's automaton when the pattern (and flags,
+// if present) are constant. ok=false falls back to per-row compilation;
+// ok=true with re=nil preserves the always-error behavior of an invalid
+// or non-string constant pattern.
+func (c *compiler) constRegex(x exCall) (re *regexp.Regexp, ok bool) {
+	if !isConstExpr(x.args[1]) || (len(x.args) > 2 && !isConstExpr(x.args[2])) {
+		return nil, false
+	}
+	pv := x.args[1].eval(constEnv{})
+	pat, ok := pv.asString()
+	if !ok {
+		return nil, true
+	}
+	var flags string
+	if len(x.args) > 2 {
+		flags, _ = x.args[2].eval(constEnv{}).asString()
+	}
+	compiled, err := compileRegex(pat, flags)
+	if err != nil {
+		return nil, true
+	}
+	return compiled, true
+}

@@ -27,10 +27,13 @@ type cterm struct {
 // cpattern is a compiled triple pattern.
 type cpattern struct{ s, p, o cterm }
 
-// cfilter is a compiled filter: the expression plus the register slots
-// it reads, for cost-free attachment during planning.
+// cfilter is a compiled filter: the lowered closure chain (cexpr.go)
+// plus the register slots it reads, for cost-free attachment during
+// planning. expr keeps the source AST for RAND detection and shape
+// diagnostics; the hot loop only calls pred.
 type cfilter struct {
 	expr     Expr
+	pred     cpred
 	deps     []int32
 	unplaced bool // reads a variable no pattern ever binds
 	exists   bool // top-level [NOT] EXISTS: attaches after the last step
@@ -62,11 +65,13 @@ type Prepared struct {
 	nslots   int
 	slots    map[string]int32
 	main     *cgroup
-	exists   map[*GroupPattern]*cgroup
 	mainBind []bool // slots bound by the main group's patterns
 	orderBy  []OrderKey
-	limit    int
-	offset   int
+	// orderKeys are the lowered ORDER BY expressions, one per orderBy
+	// entry, evaluated per surviving row.
+	orderKeys []cexpr
+	limit     int
+	offset    int
 
 	params      []paramSpec
 	constTerms  []rdf.Term // resolved values [len(params):] in exec order
@@ -78,6 +83,13 @@ type Prepared struct {
 	// per-row draw sequence — and therefore the output bytes — match
 	// the tree-walking evaluator exactly.
 	usesRand bool
+	// orderTotal marks ORDER BY key lists whose values are totally
+	// ordered on every row (currently: every key is numeric by
+	// construction, like RAND()). Only then is the bounded top-k
+	// selection provably equal to the reference stable sort; mixed
+	// comparable/incomparable keys make the comparator non-transitive,
+	// so those queries take the materialize-and-stable-sort path.
+	orderTotal bool
 
 	text string    // canonical text, when the plan has no parameters
 	tmpl *Template // source template, when compiled from one
@@ -147,7 +159,6 @@ func (e *Engine) compile(q *Query, tmpl *Template, lift bool) (*Prepared, error)
 	if c.err != nil {
 		return nil, c.err
 	}
-	p.exists = c.exists
 	p.slots = c.slots
 	p.nslots = len(c.slots)
 	p.params = c.params
@@ -207,6 +218,23 @@ func (e *Engine) compile(q *Query, tmpl *Template, lift bool) (*Prepared, error)
 	for _, k := range q.OrderBy {
 		if exprUsesRand(k.Expr) {
 			p.usesRand = true
+		}
+	}
+
+	// Pass 3: lower filters and ORDER BY keys to slot-resolved closures
+	// (cexpr.go). EXISTS lowering captures the compiled subgroup
+	// directly, so this pass runs once the whole pattern tree exists.
+	for _, g := range c.groups {
+		for i := range g.filters {
+			g.filters[i].pred = c.lowerPred(g.filters[i].expr)
+		}
+	}
+	p.orderKeys = make([]cexpr, len(q.OrderBy))
+	p.orderTotal = len(q.OrderBy) > 0
+	for i, k := range q.OrderBy {
+		p.orderKeys[i] = c.lowerExpr(k.Expr)
+		if !exprAlwaysNumeric(k.Expr) {
+			p.orderTotal = false
 		}
 	}
 
@@ -321,6 +349,22 @@ func exprVars(e Expr) []string {
 	}
 	walk(e)
 	return out
+}
+
+// exprAlwaysNumeric reports whether the expression yields a numeric
+// Value on every row regardless of bindings — the static guarantee
+// under which ORDER BY comparison is a total order (numeric pairs are
+// always comparable). RAND() and numeric literals qualify; anything
+// value-dependent does not.
+func exprAlwaysNumeric(e Expr) bool {
+	switch x := e.(type) {
+	case exNum:
+		return true
+	case exCall:
+		return x.name == "RAND"
+	default:
+		return false
+	}
 }
 
 // exprUsesRand reports whether the expression draws from the RAND()

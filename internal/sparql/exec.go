@@ -14,10 +14,14 @@ import (
 
 // exec.go is the final stage of the parse → compile → exec pipeline:
 // it runs a Prepared plan with bindings held in a flat []TermID
-// register file — no per-row maps, no string keys — and materializes
-// rdf.Term rows only for the surviving result set.
+// register file — no per-row maps, no string keys — and produces rows
+// through a pull-friendly streaming core (streamSelect). Eval/Exec
+// drain the stream into a Result; Iter (iter.go) hands the same stream
+// to the caller row by row, so LIMIT-heavy probes stop paying for rows
+// they discard.
 
-// errStop aborts row enumeration early once LIMIT is satisfied.
+// errStop aborts row enumeration early once LIMIT is satisfied or the
+// consumer stops pulling.
 var errStop = fmt.Errorf("sparql: enumeration stopped")
 
 // execState is the per-execution scratch of one Prepared run.
@@ -41,26 +45,29 @@ func (p *Prepared) Exec(args ...Arg) (*Result, error) {
 	if err := p.checkArgs(args); err != nil {
 		return nil, err
 	}
-	var textFn func() string
+	return p.exec(args, p.textFnFor(args))
+}
+
+// textFnFor builds the lazy canonical-text supplier used for RAND()
+// stream derivation; it renders at most once and only when the query
+// actually draws randomness.
+func (p *Prepared) textFnFor(args []Arg) func() string {
 	if p.tmpl != nil {
 		var text string
-		textFn = func() string {
+		return func() string {
 			if text == "" {
 				text = p.tmpl.text(args)
 			}
 			return text
 		}
-	} else {
-		textFn = func() string { return p.text }
 	}
-	return p.exec(args, textFn)
+	return func() string { return p.text }
 }
 
-// exec runs the plan. textFn supplies the canonical query text for
-// RAND() stream derivation and is only invoked when the query draws
-// randomness.
-func (p *Prepared) exec(args []Arg, textFn func() string) (*Result, error) {
-	ex := &execState{
+// start builds the execution state and resolves the effective LIMIT and
+// OFFSET for one run.
+func (p *Prepared) start(args []Arg, textFn func() string) (ex *execState, limit, offset int) {
+	ex = &execState{
 		p:      p,
 		k:      p.eng.kb,
 		regs:   make([]kb.TermID, p.nslots),
@@ -70,13 +77,21 @@ func (p *Prepared) exec(args []Arg, textFn func() string) (*Result, error) {
 	for i := range ex.regs {
 		ex.regs[i] = kb.NoTerm
 	}
-	limit, offset := p.limit, p.offset
+	limit, offset = p.limit, p.offset
 	if p.limitParam >= 0 {
 		limit = args[p.limitParam].n
 	}
 	if p.offsetParam >= 0 {
 		offset = args[p.offsetParam].n
 	}
+	return ex, limit, offset
+}
+
+// exec runs the plan by draining the streaming core. textFn supplies
+// the canonical query text for RAND() stream derivation and is only
+// invoked when the query draws randomness.
+func (p *Prepared) exec(args []Arg, textFn func() string) (*Result, error) {
+	ex, limit, offset := p.start(args, textFn)
 
 	if p.form == AskForm {
 		found := false
@@ -89,7 +104,16 @@ func (p *Prepared) exec(args []Arg, textFn func() string) (*Result, error) {
 		}
 		return &Result{Ask: found}, nil
 	}
-	return ex.execSelect(limit, offset)
+
+	res := &Result{Vars: p.vars}
+	err := ex.streamSelect(limit, offset, func(row []rdf.Term) bool {
+		res.Rows = append(res.Rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // runGroup plans the main group against the empty register file,
@@ -98,7 +122,7 @@ func (ex *execState) runGroup(g *cgroup, emit func() error) error {
 	bound := make([]bool, len(ex.regs))
 	pl := ex.planGroup(g, bound)
 	for _, fi := range pl.pre {
-		ok, valid := g.filters[fi].expr.eval(ex).EBV()
+		ok, valid := g.filters[fi].pred(ex)
 		if !valid || !ok {
 			return nil
 		}
@@ -106,93 +130,262 @@ func (ex *execState) runGroup(g *cgroup, emit func() error) error {
 	return ex.join(g, &pl, 0, emit)
 }
 
-// execSelect enumerates bindings and assembles the SELECT result,
-// mirroring the reference evaluator's pipeline: project → DISTINCT →
-// ORDER keys → sort → OFFSET/LIMIT.
-func (ex *execState) execSelect(limit, offset int) (*Result, error) {
-	p := ex.p
-	res := &Result{Vars: p.vars}
-	if !p.projOK {
+// streamSelect enumerates the SELECT result rows in final result order
+// — project → DISTINCT → ORDER keys → sort → OFFSET/LIMIT, mirroring
+// the reference evaluator's pipeline — and calls yield for each row.
+// Enumeration aborts as soon as yield returns false or the LIMIT is
+// satisfied, so a consumer that stops pulling stops paying.
+func (ex *execState) streamSelect(limit, offset int, yield func([]rdf.Term) bool) error {
+	if !ex.p.projOK {
 		// A projected variable the pattern never binds drops every row.
-		return res, nil
+		return nil
 	}
+	if len(ex.p.orderBy) > 0 {
+		return ex.streamOrdered(limit, offset, yield)
+	}
+	return ex.streamUnordered(limit, offset, yield)
+}
 
-	type sortableRow struct {
-		row  []rdf.Term
-		keys []Value
+// distinctFilter dedups rows on the projected register snapshot.
+type distinctFilter struct {
+	seen   map[string]struct{}
+	keyBuf []byte
+}
+
+func newDistinctFilter(n int) *distinctFilter {
+	return &distinctFilter{seen: make(map[string]struct{}), keyBuf: make([]byte, 4*n)}
+}
+
+// dup records the current projection and reports whether it was already
+// emitted.
+func (d *distinctFilter) dup(ex *execState) bool {
+	for i, s := range ex.p.projSlot {
+		binary.LittleEndian.PutUint32(d.keyBuf[4*i:], uint32(ex.regs[s]))
 	}
-	var rows []sortableRow
-	var seen map[string]struct{}
-	var keyBuf []byte
+	if _, dup := d.seen[string(d.keyBuf)]; dup {
+		return true
+	}
+	d.seen[string(d.keyBuf)] = struct{}{}
+	return false
+}
+
+// projectRow materializes the projected registers as a fresh term row.
+func (ex *execState) projectRow() []rdf.Term {
+	row := make([]rdf.Term, len(ex.p.projSlot))
+	for i, s := range ex.p.projSlot {
+		row[i] = ex.k.Term(ex.regs[s])
+	}
+	return row
+}
+
+// streamUnordered streams rows straight off the join tree: DISTINCT
+// filtering and OFFSET skipping happen inline and LIMIT is an early
+// exit that aborts the join, so only the yielded rows are ever
+// materialized.
+func (ex *execState) streamUnordered(limit, offset int, yield func([]rdf.Term) bool) error {
+	if limit == 0 {
+		return nil
+	}
+	p := ex.p
+	var distinct *distinctFilter
 	if p.distinct {
-		seen = make(map[string]struct{})
-		keyBuf = make([]byte, 4*len(p.projSlot))
+		distinct = newDistinctFilter(len(p.projSlot))
 	}
-	earlyStop := len(p.orderBy) == 0 && limit >= 0
-	target := offset + limit
-
+	skipped, emitted := 0, 0
 	err := ex.runGroup(p.main, func() error {
-		if p.distinct {
-			for i, s := range p.projSlot {
-				binary.LittleEndian.PutUint32(keyBuf[4*i:], uint32(ex.regs[s]))
-			}
-			if _, dup := seen[string(keyBuf)]; dup {
-				return nil
-			}
-			seen[string(keyBuf)] = struct{}{}
+		if distinct != nil && distinct.dup(ex) {
+			return nil
 		}
-		row := make([]rdf.Term, len(p.projSlot))
-		for i, s := range p.projSlot {
-			row[i] = ex.k.Term(ex.regs[s])
+		if skipped < offset {
+			skipped++
+			return nil
 		}
-		sr := sortableRow{row: row}
-		if len(p.orderBy) > 0 {
-			sr.keys = make([]Value, len(p.orderBy))
-			for i, k := range p.orderBy {
-				sr.keys[i] = k.Expr.eval(ex)
-			}
+		if !yield(ex.projectRow()) {
+			return errStop
 		}
-		rows = append(rows, sr)
-		if earlyStop && len(rows) >= target {
+		emitted++
+		if limit >= 0 && emitted >= limit {
 			return errStop
 		}
 		return nil
 	})
 	if err != nil && err != errStop {
-		return nil, err
+		return err
+	}
+	return nil
+}
+
+// orderedRow is one candidate row of an ORDER BY execution: the
+// projected register snapshot (terms materialize only if the row
+// survives selection), its sort keys, and its enumeration index — the
+// tiebreak that makes the selection order total and therefore equal to
+// the reference evaluator's stable sort.
+type orderedRow struct {
+	ids  []kb.TermID
+	keys []Value
+	idx  int
+}
+
+// streamOrdered enumerates all matches (ORDER BY needs every row's
+// keys, and RAND() keys must be drawn in enumeration order) and emits
+// them in sorted order. When the key list is statically total-ordered
+// (Prepared.orderTotal — the ORDER BY RAND() probe shape) and a LIMIT
+// is set, only the top offset+limit candidates are kept in a bounded
+// heap — O(k) live rows for a LIMIT-k probe regardless of the match
+// count. Otherwise every candidate is kept and stable-sorted with the
+// reference comparator over rows in enumeration order, which is
+// byte-identical to the tree-walking evaluator by construction even
+// when some key pairs are incomparable (a non-transitive comparator
+// would make heap selection diverge from the stable sort, so the
+// bounded path is gated on the total-order guarantee).
+func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) bool) error {
+	p := ex.p
+	target := -1 // unbounded: full stable sort
+	if limit >= 0 {
+		target = offset + limit
+		if target == 0 {
+			return nil
+		}
+	}
+	bounded := target >= 0 && p.orderTotal
+	var distinct *distinctFilter
+	if p.distinct {
+		distinct = newDistinctFilter(len(p.projSlot))
 	}
 
-	if len(p.orderBy) > 0 {
-		sort.SliceStable(rows, func(i, j int) bool {
-			for k := range p.orderBy {
-				c, ok := valuesOrder(rows[i].keys[k], rows[j].keys[k])
-				if !ok {
-					continue
-				}
-				if c == 0 {
-					continue
-				}
-				if p.orderBy[k].Desc {
-					return c > 0
-				}
-				return c < 0
+	// keyLess is the reference comparator over the sort keys alone;
+	// incomparable or equal keys fall through to the next criterion.
+	keyLess := func(a, b *orderedRow) bool {
+		for k := range p.orderBy {
+			c, ok := valuesOrder(a.keys[k], b.keys[k])
+			if !ok || c == 0 {
+				continue
 			}
-			return false
-		})
+			if p.orderBy[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	// before adds the enumeration-index tiebreak, making the order
+	// total. It is only used on the bounded path, where orderTotal
+	// guarantees keyLess is a strict weak ordering, so sorting by
+	// `before` equals the stable sort by keyLess.
+	before := func(a, b *orderedRow) bool {
+		for k := range p.orderBy {
+			c, ok := valuesOrder(a.keys[k], b.keys[k])
+			if !ok || c == 0 {
+				continue
+			}
+			if p.orderBy[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return a.idx < b.idx
 	}
 
-	start := offset
-	if start > len(rows) {
-		start = len(rows)
+	var rows []orderedRow // max-heap by `before` when bounded
+	keyScratch := make([]Value, len(p.orderKeys))
+	idx := 0
+	snapshot := func(dst *orderedRow) {
+		if dst.ids == nil {
+			dst.ids = make([]kb.TermID, len(p.projSlot))
+			dst.keys = make([]Value, len(keyScratch))
+		}
+		for i, s := range p.projSlot {
+			dst.ids[i] = ex.regs[s]
+		}
+		copy(dst.keys, keyScratch)
+	}
+
+	err := ex.runGroup(p.main, func() error {
+		if distinct != nil && distinct.dup(ex) {
+			return nil
+		}
+		for i, kf := range p.orderKeys {
+			keyScratch[i] = kf(ex)
+		}
+		cur := orderedRow{keys: keyScratch, idx: idx}
+		idx++
+		if bounded && len(rows) == target {
+			// Bounded: the heap root is the worst kept row. A newcomer
+			// that does not order before it can never reach the output;
+			// otherwise it replaces the root in place — no allocation.
+			if !before(&cur, &rows[0]) {
+				return nil
+			}
+			rows[0].idx = cur.idx
+			snapshot(&rows[0])
+			siftDown(rows, 0, before)
+			return nil
+		}
+		kept := orderedRow{idx: cur.idx}
+		snapshot(&kept)
+		rows = append(rows, kept)
+		if bounded {
+			siftUp(rows, len(rows)-1, before)
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return err
+	}
+
+	if bounded {
+		sort.Slice(rows, func(i, j int) bool { return before(&rows[i], &rows[j]) })
+	} else {
+		// rows are in enumeration order; the stable sort with the pure
+		// key comparator reproduces the reference engine exactly.
+		sort.SliceStable(rows, func(i, j int) bool { return keyLess(&rows[i], &rows[j]) })
 	}
 	end := len(rows)
-	if limit >= 0 && start+limit < end {
-		end = start + limit
+	if target >= 0 && target < end {
+		end = target
 	}
-	for _, sr := range rows[start:end] {
-		res.Rows = append(res.Rows, sr.row)
+	for i := offset; i < end; i++ {
+		row := make([]rdf.Term, len(rows[i].ids))
+		for j, id := range rows[i].ids {
+			row[j] = ex.k.Term(id)
+		}
+		if !yield(row) {
+			return nil
+		}
 	}
-	return res, nil
+	return nil
+}
+
+// siftUp/siftDown maintain rows as a max-heap under the final output
+// order: the root is the kept row that would be emitted last.
+func siftUp(rows []orderedRow, i int, before func(a, b *orderedRow) bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(&rows[parent], &rows[i]) {
+			return
+		}
+		rows[parent], rows[i] = rows[i], rows[parent]
+		i = parent
+	}
+}
+
+func siftDown(rows []orderedRow, i int, before func(a, b *orderedRow) bool) {
+	n := len(rows)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && before(&rows[largest], &rows[l]) {
+			largest = l
+		}
+		if r < n && before(&rows[largest], &rows[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		rows[i], rows[largest] = rows[largest], rows[i]
+		i = largest
+	}
 }
 
 // join recurses over the planned steps, applying each step's attached
@@ -204,7 +397,7 @@ func (ex *execState) join(g *cgroup, pl *plannedGroup, step int, emit func() err
 	tp := g.pats[pl.order[step]]
 	return ex.match(tp, func() error {
 		for _, fi := range pl.after[step] {
-			ok, valid := g.filters[fi].expr.eval(ex).EBV()
+			ok, valid := g.filters[fi].pred(ex)
 			if !valid || !ok {
 				return nil
 			}
@@ -347,20 +540,6 @@ func (ex *execState) match(tp cpattern, found func() error) error {
 	}
 }
 
-// --- expression environment (env) over the register file ---
-
-func (ex *execState) lookupVar(name string) (rdf.Term, bool) {
-	slot, ok := ex.p.slots[name]
-	if !ok {
-		return rdf.Term{}, false
-	}
-	id := ex.regs[slot]
-	if id == kb.NoTerm {
-		return rdf.Term{}, false
-	}
-	return ex.k.Term(id), true
-}
-
 // rng derives the execution's PRNG from the engine seed and the
 // canonical query text on first use, exactly like the reference
 // engine: queries that never call RAND() pay neither the text
@@ -374,13 +553,13 @@ func (ex *execState) rng() *rand.Rand {
 	return ex.rnd
 }
 
-// evalExists runs a compiled EXISTS subgroup against the current
-// registers. The subgroup's plan is computed on first evaluation and
-// reused: the bound-register set at an attachment point is invariant
-// across rows.
-func (ex *execState) evalExists(g *GroupPattern) (bool, error) {
-	cg, ok := ex.p.exists[g]
-	if !ok || cg == nil {
+// runExists probes a compiled EXISTS subgroup against the current
+// registers — the nested compiled probe a lowered [NOT] EXISTS closure
+// (cexpr.go) dispatches to. The subgroup's plan is computed on first
+// evaluation and reused: the bound-register set at an attachment point
+// is invariant across rows.
+func (ex *execState) runExists(cg *cgroup) (bool, error) {
+	if cg == nil {
 		return false, fmt.Errorf("sparql: EXISTS group was not compiled")
 	}
 	if ex.planned == nil {
@@ -397,7 +576,7 @@ func (ex *execState) evalExists(g *GroupPattern) (bool, error) {
 		ex.planned[cg] = pl
 	}
 	for _, fi := range pl.pre {
-		ok, valid := cg.filters[fi].expr.eval(ex).EBV()
+		ok, valid := cg.filters[fi].pred(ex)
 		if !valid || !ok {
 			return false, nil
 		}
@@ -412,5 +591,3 @@ func (ex *execState) evalExists(g *GroupPattern) (bool, error) {
 	}
 	return found, nil
 }
-
-var _ env = (*execState)(nil)

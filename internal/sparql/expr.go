@@ -1,7 +1,6 @@
 package sparql
 
 import (
-	"fmt"
 	"math/rand"
 	"regexp"
 	"strconv"
@@ -323,7 +322,23 @@ func (x exCall) eval(e env) Value {
 			return errValue()
 		}
 	}
-	switch x.name {
+	return callBuiltin(x.name, vals)
+}
+
+// compileRegex builds the Go regexp for a SPARQL REGEX pattern with the
+// given flags (only "i" is honored).
+func compileRegex(pat, flags string) (*regexp.Regexp, error) {
+	if strings.Contains(flags, "i") {
+		pat = "(?i)" + pat
+	}
+	return regexp.Compile(pat)
+}
+
+// callBuiltin applies a strict builtin (every builtin except BOUND and
+// RAND) to its evaluated, error-free arguments. It is shared by the
+// tree-walking evaluator and the compiled closures (cexpr.go).
+func callBuiltin(name string, vals []Value) Value {
+	switch name {
 	case "STR":
 		v := vals[0]
 		switch v.kind {
@@ -368,13 +383,11 @@ func (x exCall) eval(e env) Value {
 		if !ok1 || !ok2 {
 			return errValue()
 		}
+		var flags string
 		if len(vals) > 2 {
-			flags, _ := vals[2].asString()
-			if strings.Contains(flags, "i") {
-				pat = "(?i)" + pat
-			}
+			flags, _ = vals[2].asString()
 		}
-		re, err := regexp.Compile(pat)
+		re, err := compileRegex(pat, flags)
 		if err != nil {
 			return errValue()
 		}
@@ -456,10 +469,40 @@ func (x exExists) eval(e env) Value {
 	return boolValue(ok)
 }
 
+// String renders the EXISTS in parseable inline form, so that
+// expressions embedding it — e.g. `FILTER (EXISTS { ... } || ...)` —
+// serialize to canonical text that reparses (the fixpoint invariant
+// RAND() determinism and text-keyed caching rest on).
 func (x exExists) String() string {
-	neg := ""
+	var sb strings.Builder
 	if x.negate {
-		neg = "NOT "
+		sb.WriteString("NOT ")
 	}
-	return fmt.Sprintf("%sEXISTS {%d patterns}", neg, len(x.group.Triples))
+	sb.WriteString("EXISTS { ")
+	writeInlineGroup(&sb, x.group)
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// writeInlineGroup serializes a group pattern on one line.
+func writeInlineGroup(sb *strings.Builder, g *GroupPattern) {
+	if g == nil {
+		return
+	}
+	for _, tp := range g.Triples {
+		sb.WriteString(tp.String() + " . ")
+	}
+	for _, f := range g.Filters {
+		if ex, ok := f.(exExists); ok {
+			if ex.negate {
+				sb.WriteString("FILTER NOT EXISTS { ")
+			} else {
+				sb.WriteString("FILTER EXISTS { ")
+			}
+			writeInlineGroup(sb, ex.group)
+			sb.WriteString("} ")
+			continue
+		}
+		sb.WriteString("FILTER (" + f.String() + ") ")
+	}
 }

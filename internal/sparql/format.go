@@ -94,11 +94,33 @@ func mapGroup(g *GroupPattern, fn func(TriplePattern) TriplePattern) *GroupPatte
 		out.Triples = append(out.Triples, fn(tp))
 	}
 	for _, f := range g.Filters {
-		if ex, ok := f.(exExists); ok {
-			out.Filters = append(out.Filters, exExists{negate: ex.negate, group: mapGroup(ex.group, fn)})
-			continue
-		}
-		out.Filters = append(out.Filters, f)
+		out.Filters = append(out.Filters, mapExpr(f, fn))
 	}
 	return out
+}
+
+// mapExpr rebuilds an expression with every [NOT] EXISTS subgroup —
+// top-level or nested inside boolean operators — rewritten through fn.
+// Subtrees without EXISTS are shared, not copied.
+func mapExpr(e Expr, fn func(TriplePattern) TriplePattern) Expr {
+	switch x := e.(type) {
+	case exExists:
+		return exExists{negate: x.negate, group: mapGroup(x.group, fn)}
+	case exNot:
+		return exNot{arg: mapExpr(x.arg, fn)}
+	case exAnd:
+		return exAnd{l: mapExpr(x.l, fn), r: mapExpr(x.r, fn)}
+	case exOr:
+		return exOr{l: mapExpr(x.l, fn), r: mapExpr(x.r, fn)}
+	case exCompare:
+		return exCompare{op: x.op, l: mapExpr(x.l, fn), r: mapExpr(x.r, fn)}
+	case exCall:
+		args := make([]Expr, len(x.args))
+		for i, a := range x.args {
+			args[i] = mapExpr(a, fn)
+		}
+		return exCall{name: x.name, args: args}
+	default:
+		return e
+	}
 }

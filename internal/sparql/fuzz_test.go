@@ -1,6 +1,10 @@
 package sparql
 
-import "testing"
+import (
+	"testing"
+
+	"sofya/internal/kb"
+)
 
 // FuzzParse exercises the SPARQL parser with a seed corpus drawn from
 // the aligner's real query templates (text and prepared forms). Beyond
@@ -32,6 +36,14 @@ func FuzzParse(f *testing.F) {
 		`ASK { ?x ?p "lit"@en . FILTER REGEX(?x, "a.c", "i") }`,
 		`SELECT * WHERE { ?s ?p "5"^^<http://www.w3.org/2001/XMLSchema#integer> . FILTER (?o > 4.5 || !BOUND(?z)) }`,
 		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER EXISTS { ?y <http://x/q> ?x } }",
+		// filter-expression corpus: nested parens, EXISTS inside boolean
+		// operators, NOT EXISTS under negation, mixed datatypes
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER (((?y > 3) && ((?y < 9) || (?y = 11))) != false) }",
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER (EXISTS { ?x <http://x/q> ?z . FILTER (?z != ?y) } || STRLEN(STR(?y)) > 2) }",
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER (!(NOT EXISTS { ?x <http://x/q> ?y }) && ISIRI(?y)) }",
+		`SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?v >= "1990"^^<http://www.w3.org/2001/XMLSchema#gYear> || ?v = "x"@en || ?v < 3.25) }`,
+		`SELECT ?v WHERE { ?s ?p ?v . FILTER (DATATYPE(?v) = <http://www.w3.org/2001/XMLSchema#date> && !ISBLANK(?s)) }`,
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER (SAMETERM(?x, ?y) || CONTAINS(LCASE(STR(?y)), UCASE(\"a\"))) } ORDER BY RAND() LIMIT 0",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -48,6 +60,113 @@ func FuzzParse(f *testing.F) {
 		}
 		if again := q2.String(); again != canon {
 			t.Fatalf("canonicalization is not a fixpoint:\nfirst:  %q\nsecond: %q", canon, again)
+		}
+	})
+}
+
+// FuzzTemplate exercises template parameter binding: inputs are parsed
+// as templates declaring parameters $r (term) and $n (integer). A
+// template that parses must render, with bound arguments, to canonical
+// text that reparses to its own fixpoint — the invariant that keeps
+// prepared RAND() streams identical to the text path — and compiling
+// and executing the template against a tiny engine must agree with
+// evaluating the rendered text. Inputs that put $name where it cannot
+// be bound (projected, in a FILTER or ORDER BY expression, inside an
+// expression-nested EXISTS) must fail ParseTemplate gracefully.
+func FuzzTemplate(f *testing.F) {
+	seeds := []string{
+		// the aligner's real templates
+		"SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n",
+		"SELECT ?y WHERE { $r <http://x/p> ?y }",
+		"SELECT ?p WHERE { $r ?p $n }",
+		`SELECT ?x ?y1 ?y2 WHERE {
+  ?x $r ?y1 .
+  ?x <http://x/b> ?y2 .
+  FILTER NOT EXISTS { ?x $r ?y2 }
+} ORDER BY RAND() LIMIT $n`,
+		// parameters in top-level EXISTS groups (allowed)
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER EXISTS { ?x $r ?z } } LIMIT $n",
+		// $name in filter position and other rejected placements
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER (?y > $n) }",
+		"SELECT ?x WHERE { ?x $r ?y . FILTER (STRLEN(STR($r)) > 1) }",
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER (EXISTS { ?x $r ?z } || ?x != ?y) }",
+		"SELECT $r WHERE { ?x <http://x/p> $r }",
+		"SELECT ?x WHERE { ?x <http://x/p> ?y } ORDER BY $n",
+		// nested parens and mixed datatypes around parameter sites
+		`SELECT ?x WHERE { ?x $r "5"^^<http://www.w3.org/2001/XMLSchema#integer> . FILTER (((?x != ?x)) || true) } LIMIT $n`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	k := kb.New("fuzz")
+	k.AddIRIs("http://x/a", "http://x/p", "http://x/b")
+	k.AddIRIs("http://x/b", "http://x/p", "http://x/c")
+	k.AddIRIs("http://x/a", "http://x/b", "http://x/c")
+	k.Freeze()
+	eng := NewEngineSeeded(k, 3)
+	f.Fuzz(func(t *testing.T, in string) {
+		tm, err := ParseTemplate(in, "r", "n")
+		if err != nil {
+			return
+		}
+		args := make([]Arg, 2)
+		for i, name := range tm.Params() {
+			if tm.isInt[i] {
+				args[i] = IntArg(4)
+			} else {
+				args[i] = IRIArg("http://x/p")
+			}
+			_ = name
+		}
+		text, err := tm.Text(args...)
+		if err != nil {
+			t.Fatalf("instantiating a parsed template failed: %v\ninput: %q", err, in)
+		}
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("instantiated template does not parse: %v\ninput: %q\ntext:  %q", err, in, text)
+		}
+		if canon := q.String(); canon != text {
+			t.Fatalf("instantiated text is not canonical:\ntext:  %q\ncanon: %q", text, canon)
+		}
+		if q.Form != SelectForm && q.Form != AskForm {
+			return
+		}
+		prep, err := eng.Prepare(tm)
+		if err != nil {
+			return // engine-level rejection (e.g. int parameter in a pattern) is fine
+		}
+		got, err := prep.Exec(args...)
+		if err != nil {
+			t.Fatalf("prepared exec failed: %v\ninput: %q", err, in)
+		}
+		var want *Result
+		if q.Form == AskForm {
+			ares, err := eng.Eval(q)
+			if err != nil {
+				t.Fatalf("text eval failed: %v\ntext: %q", err, text)
+			}
+			want = ares
+			if want.Ask != got.Ask {
+				t.Fatalf("prepared ASK %v != text ASK %v for %q", got.Ask, want.Ask, text)
+			}
+			return
+		}
+		want, err = eng.Eval(q)
+		if err != nil {
+			t.Fatalf("text eval failed: %v\ntext: %q", err, text)
+		}
+		if len(want.Rows) != len(got.Rows) {
+			t.Fatalf("prepared/text row counts differ: %d vs %d for %q", len(got.Rows), len(want.Rows), text)
+		}
+		if len(q.OrderBy) > 0 {
+			for i := range want.Rows {
+				for j := range want.Rows[i] {
+					if want.Rows[i][j] != got.Rows[i][j] {
+						t.Fatalf("prepared/text rows differ at %d,%d for %q", i, j, text)
+					}
+				}
+			}
 		}
 	})
 }

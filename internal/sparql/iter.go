@@ -1,0 +1,130 @@
+package sparql
+
+import (
+	"fmt"
+	"iter"
+
+	"sofya/internal/rdf"
+)
+
+// iter.go exposes the streaming core (exec.go) as a pull-based row
+// iterator: the join tree produces rows on demand, so a caller that
+// stops pulling — an early LIMIT, a probe that found what it needed —
+// aborts the enumeration instead of paying for the rows it discards.
+// Draining a RowIter yields exactly the rows Eval/Exec would return,
+// byte for byte, RAND() streams included: both run the same stream.
+
+// RowIter iterates over the rows of one SELECT execution. It is not
+// safe for concurrent use, but independent iterators obtained from one
+// Engine or Prepared are. Callers must Close the iterator when done
+// (draining to exhaustion closes it implicitly).
+type RowIter struct {
+	vars []string
+	next func() ([]rdf.Term, bool)
+	stop func()
+	errp *error
+	row  []rdf.Term
+	err  error
+	done bool
+}
+
+// newRowIter wraps the push-form streaming core into a pull iterator.
+// run must call yield for every result row, in order, and return only
+// real errors (a false yield is a clean stop).
+func newRowIter(vars []string, run func(yield func([]rdf.Term) bool) error) *RowIter {
+	it := &RowIter{vars: vars}
+	runErr := new(error)
+	it.errp = runErr
+	it.next, it.stop = iter.Pull(func(yield func([]rdf.Term) bool) {
+		*runErr = run(yield)
+	})
+	return it
+}
+
+// Vars returns the projected variable names, in projection order.
+func (it *RowIter) Vars() []string { return it.vars }
+
+// Next advances to the next row. It returns false once the result is
+// exhausted, Close was called, or enumeration failed (see Err).
+func (it *RowIter) Next() bool {
+	if it.done {
+		return false
+	}
+	row, ok := it.next()
+	if !ok {
+		it.done = true
+		it.row = nil
+		it.err = *it.errp
+		return false
+	}
+	it.row = row
+	return true
+}
+
+// Row returns the current row. The slice is freshly allocated per row
+// and remains valid after further Next calls.
+func (it *RowIter) Row() []rdf.Term { return it.row }
+
+// Err returns the error that ended iteration, if any. It is nil while
+// rows remain and after a clean exhaustion or Close.
+func (it *RowIter) Err() error { return it.err }
+
+// Close releases the iterator's resources and aborts the underlying
+// enumeration. It is idempotent and implied by exhausting the rows.
+func (it *RowIter) Close() {
+	if it.done {
+		return
+	}
+	it.done = true
+	it.row = nil
+	it.stop()
+}
+
+// Iter executes the prepared query as a stream: rows are produced on
+// demand and the join aborts as soon as the caller closes the iterator.
+// The query must be a SELECT.
+func (p *Prepared) Iter(args ...Arg) (*RowIter, error) {
+	if p.form != SelectForm {
+		return nil, fmt.Errorf("sparql: Iter needs a SELECT query")
+	}
+	if err := p.checkArgs(args); err != nil {
+		return nil, err
+	}
+	ex, limit, offset := p.start(args, p.textFnFor(args))
+	return newRowIter(p.vars, func(yield func([]rdf.Term) bool) error {
+		return ex.streamSelect(limit, offset, yield)
+	}), nil
+}
+
+// Stream evaluates a parsed SELECT query as a row iterator, through the
+// same shape-keyed plan cache Eval uses.
+func (e *Engine) Stream(q *Query) (*RowIter, error) {
+	if q.Form != SelectForm {
+		return nil, fmt.Errorf("sparql: Stream needs a SELECT query")
+	}
+	p, err := e.planFor(q)
+	if err != nil {
+		return nil, err
+	}
+	args := liftArgs(q, make([]Arg, 0, len(p.params)))
+	var text string
+	textFn := func() string {
+		if text == "" {
+			text = q.String()
+		}
+		return text
+	}
+	ex, limit, offset := p.start(args, textFn)
+	return newRowIter(p.vars, func(yield func([]rdf.Term) bool) error {
+		return ex.streamSelect(limit, offset, yield)
+	}), nil
+}
+
+// StreamString parses and streams a SELECT query.
+func (e *Engine) StreamString(query string) (*RowIter, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Stream(q)
+}

@@ -71,7 +71,87 @@ func oracleQueries(k *kb.KB, rng *rand.Rand) []string {
 		qs = append(qs, fmt.Sprintf(
 			"SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY DESC(?y) ?x LIMIT 7", relIRI()))
 	}
+	return append(qs, oracleFilterQueries(k, rng)...)
+}
+
+// oracleFilterQueries widens the corpus with filter-heavy shapes —
+// numeric comparisons, !=, [NOT] EXISTS nested inside boolean
+// operators, REGEX, BOUND over never-bound variables — and a LIMIT
+// span covering 0, 1, a mid value, and beyond any result size, with
+// and without ORDER BY. These are the shapes the compiled filter
+// closures (cexpr.go) and the bounded top-k selection (exec.go) lower
+// specially.
+func oracleFilterQueries(k *kb.KB, rng *rand.Rand) []string {
+	rels := k.Relations()
+	relIRI := func() string { return k.Term(rels[rng.Intn(len(rels))]).Value }
+	var qs []string
+
+	// numeric comparisons over literal objects (gYear / integer /
+	// plain literals all participate in numeric coercion)
+	for i := 0; i < 3; i++ {
+		lo := 1900 + rng.Intn(60)
+		qs = append(qs, fmt.Sprintf(
+			"SELECT ?x ?v WHERE { ?x <%s> ?v . FILTER (?v >= %d && ?v < %d) }", relIRI(), lo, lo+25))
+		qs = append(qs, fmt.Sprintf(
+			"SELECT ?x ?v WHERE { ?x <%s> ?v . FILTER (ISLITERAL(?v) && !(?v < %d)) } ORDER BY RAND() LIMIT %d",
+			relIRI(), lo, 3+rng.Intn(20)))
+	}
+
+	// != over a self-join, plus nested boolean operators
+	a, b := relIRI(), relIRI()
+	qs = append(qs, fmt.Sprintf(
+		"SELECT ?x ?y ?z WHERE { ?x <%s> ?y . ?x <%s> ?z . FILTER (?y != ?z) } LIMIT 9", a, a))
+	qs = append(qs, fmt.Sprintf(
+		"SELECT ?x ?y WHERE { ?x <%s> ?y . FILTER (!(ISIRI(?y) && ?x = ?y) || STRLEN(STR(?y)) > 4) } ORDER BY ?x ?y LIMIT 11",
+		b))
+
+	// EXISTS / NOT EXISTS nested inside boolean operators
+	qs = append(qs, fmt.Sprintf(
+		"SELECT ?x WHERE { ?x <%s> ?y . FILTER (EXISTS { ?x <%s> ?w } || STRLEN(STR(?y)) > %d) } ORDER BY ?x LIMIT 13",
+		relIRI(), relIRI(), rng.Intn(10)))
+	qs = append(qs, fmt.Sprintf(
+		"SELECT ?x ?y WHERE { ?x <%s> ?y . FILTER (NOT EXISTS { ?x <%s> ?y } && ISIRI(?y)) }",
+		relIRI(), relIRI()))
+
+	// BOUND over a never-bound variable; REGEX with constant pattern;
+	// DATATYPE mixing
+	qs = append(qs, fmt.Sprintf(
+		"SELECT ?x WHERE { ?x <%s> ?y . FILTER (!BOUND(?nope)) } ORDER BY ?x LIMIT 5", relIRI()))
+	qs = append(qs, fmt.Sprintf(
+		`SELECT ?x ?y WHERE { ?x <%s> ?y . FILTER REGEX(STR(?y), "a.", "i") } LIMIT 17`, relIRI()))
+	qs = append(qs, fmt.Sprintf(
+		"SELECT ?x ?v WHERE { ?x <%s> ?v . FILTER (DATATYPE(?v) = <http://www.w3.org/2001/XMLSchema#gYear> || ISIRI(?v)) }",
+		relIRI()))
+
+	// LIMIT span: 0, 1, mid, beyond-result-size — streamed early exit
+	// and the bounded ORDER BY selection must match the reference
+	// engine's materialize-then-truncate on each of them.
+	r := relIRI()
+	for _, limit := range []int{0, 1, 6, 1 << 20} {
+		qs = append(qs,
+			fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } LIMIT %d", r, limit),
+			fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT %d", r, limit),
+			fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y . FILTER (STRLEN(STR(?x)) > 2) } ORDER BY DESC(?x) ?y LIMIT %d OFFSET %d",
+				r, limit, rng.Intn(4)))
+	}
 	return qs
+}
+
+// drainIter drains a RowIter into a Result, failing the test on error.
+func drainIter(t *testing.T, it *RowIter, err error) *Result {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer it.Close()
+	res := &Result{Vars: it.Vars()}
+	for it.Next() {
+		res.Rows = append(res.Rows, it.Row())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("stream iteration: %v", err)
+	}
+	return res
 }
 
 func rowsEqual(a, b *Result) error {
@@ -114,9 +194,14 @@ func multisetEqual(a, b *Result) error {
 	return nil
 }
 
-// TestOracleCompiledMatchesNaive compares the compiled engine against
-// the reference evaluator over randomized synth worlds, frozen and
-// unfrozen.
+// TestOracleCompiledMatchesNaive compares the compiled engine — its
+// drained Eval path AND its streamed Stream path — against the
+// reference evaluator over randomized synth worlds, frozen and
+// unfrozen. Drained and streamed execution must agree byte for byte on
+// every query (they run the same enumeration); ordered queries must
+// also match the reference engine byte for byte, unordered ones as row
+// multisets. Early-closed streams must yield a prefix of the drained
+// rows.
 func TestOracleCompiledMatchesNaive(t *testing.T) {
 	for _, worldSeed := range []int64{2016, 7, 99} {
 		spec := synth.TinySpec()
@@ -153,7 +238,78 @@ func TestOracleCompiledMatchesNaive(t *testing.T) {
 					} else if err := multisetEqual(want, got); err != nil {
 						t.Fatalf("results differ (freeze=%v) for\n%s\n%v", freeze, qtext, err)
 					}
+					if q.Form != SelectForm {
+						continue
+					}
+					it, err := compiled.Stream(q)
+					streamed := drainIter(t, it, err)
+					if err := rowsEqual(got, streamed); err != nil {
+						t.Fatalf("streamed rows differ from drained (freeze=%v) for\n%s\n%v", freeze, qtext, err)
+					}
+					if n := len(got.Rows); n > 1 {
+						j := 1 + int(rng.Int63())%n // early close mid-result
+						it, err := compiled.Stream(q)
+						if err != nil {
+							t.Fatalf("stream %q: %v", qtext, err)
+						}
+						for i := 0; i < j; i++ {
+							if !it.Next() {
+								t.Fatalf("stream of %q ended at row %d, want %d", qtext, i, j)
+							}
+							for c := range it.Row() {
+								if it.Row()[c] != got.Rows[i][c] {
+									t.Fatalf("streamed prefix diverges at row %d col %d for %q", i, c, qtext)
+								}
+							}
+						}
+						it.Close()
+						if it.Err() != nil {
+							t.Fatalf("early close errored for %q: %v", qtext, it.Err())
+						}
+					}
 				}
+			}
+		}
+	}
+}
+
+// TestOracleMixedTypeOrderKeys pins the regression where ORDER BY keys
+// mix comparable and incomparable values (STRLEN of a literal vs an
+// IRI): the key comparator is then non-transitive, so bounded top-k
+// selection is unsound and the engine must fall back to the reference
+// stable sort. Naive, drained, and streamed execution must stay
+// byte-identical for every LIMIT.
+func TestOracleMixedTypeOrderKeys(t *testing.T) {
+	k := kb.New("mixed")
+	k.Add(rdf.NewTriple(rdf.NewIRI("http://x/s1"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("hello")))
+	k.AddIRIs("http://x/s2", "http://x/p", "http://x/iri")
+	k.Add(rdf.NewTriple(rdf.NewIRI("http://x/s3"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("abc")))
+	k.Add(rdf.NewTriple(rdf.NewIRI("http://x/s4"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("zz")))
+	k.Freeze()
+	naive := newNaiveEngine(k, 5)
+	compiled := NewEngineSeeded(k, 5)
+	for _, shape := range []string{
+		"SELECT ?y WHERE { ?s <http://x/p> ?y } ORDER BY STRLEN(?y)%s",
+		"SELECT ?y WHERE { ?s <http://x/p> ?y } ORDER BY DESC(STRLEN(?y))%s",
+		"SELECT ?y WHERE { ?s <http://x/p> ?y } ORDER BY STRLEN(?y) ?y%s",
+	} {
+		for _, limit := range []string{"", " LIMIT 1", " LIMIT 2", " LIMIT 3 OFFSET 1"} {
+			qtext := fmt.Sprintf(shape, limit)
+			q := MustParse(qtext)
+			want, err := naive.Eval(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := compiled.Eval(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rowsEqual(want, got); err != nil {
+				t.Fatalf("drained differs from naive for %q: %v", qtext, err)
+			}
+			it, err := compiled.Stream(q)
+			if err := rowsEqual(want, drainIter(t, it, err)); err != nil {
+				t.Fatalf("streamed differs from naive for %q: %v", qtext, err)
 			}
 		}
 	}
@@ -203,6 +359,10 @@ func TestOraclePreparedMatchesText(t *testing.T) {
 		if err := rowsEqual(want, got); err != nil {
 			t.Fatalf("prepared sample differs from text path for <%s>: %v", r, err)
 		}
+		it, err := pSample.Iter(IRIArg(r), IntArg(17))
+		if err := rowsEqual(got, drainIter(t, it, err)); err != nil {
+			t.Fatalf("prepared sample stream differs from Exec for <%s>: %v", r, err)
+		}
 
 		text = fmt.Sprintf(`SELECT ?x ?y1 ?y2 WHERE {
   ?x <%s> ?y1 .
@@ -219,6 +379,10 @@ func TestOraclePreparedMatchesText(t *testing.T) {
 		}
 		if err := rowsEqual(want, got); err != nil {
 			t.Fatalf("prepared overlap differs from text path for <%s>,<%s>: %v", r, r2, err)
+		}
+		it2, err := pOverlap.Iter(IRIArg(r), IRIArg(r2), IntArg(23))
+		if err := rowsEqual(got, drainIter(t, it2, err)); err != nil {
+			t.Fatalf("prepared overlap stream differs from Exec for <%s>,<%s>: %v", r, r2, err)
 		}
 	}
 }

@@ -1,0 +1,146 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"sofya/internal/kb"
+)
+
+// benchKB builds a frozen KB with one large predicate of n facts — the
+// shape of a discover/body-sample window over a big relation.
+func benchKB(n int) *kb.KB {
+	k := kb.New("bench")
+	for i := 0; i < n; i++ {
+		k.AddIRIs(fmt.Sprintf("http://b/s%06d", i), "http://b/p", fmt.Sprintf("http://b/o%06d", i))
+	}
+	k.Freeze()
+	return k
+}
+
+const benchProbeRows = 50_000
+
+// BenchmarkRandProbeLimitK is the aligner's hot probe shape — ORDER BY
+// RAND() LIMIT k on a large predicate — through the prepared drain
+// path. With the bounded top-k selection the execution allocates O(k)
+// rows; pair it with BenchmarkRandProbeFullDrain (same predicate, LIMIT
+// = result size) to see the O(result) contrast in allocs/op.
+func BenchmarkRandProbeLimitK(b *testing.B) {
+	k := benchKB(benchProbeRows)
+	e := NewEngineSeeded(k, 1)
+	tmpl := MustParseTemplate("SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n", "r", "n")
+	p, err := e.Prepare(tmpl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Exec(IRIArg("http://b/p"), IntArg(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkRandProbeFullDrain is the same probe with the LIMIT opened
+// to the full result — the cost the engine paid per probe before
+// bounded selection, and still pays when a caller wants everything.
+func BenchmarkRandProbeFullDrain(b *testing.B) {
+	k := benchKB(benchProbeRows)
+	e := NewEngineSeeded(k, 1)
+	tmpl := MustParseTemplate("SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n", "r", "n")
+	p, err := e.Prepare(tmpl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Exec(IRIArg("http://b/p"), IntArg(benchProbeRows))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != benchProbeRows {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkStreamEarlyClose pulls k rows from an un-LIMITed scan of the
+// large predicate and closes — the consumer-driven early exit that
+// drained execution cannot express at all.
+func BenchmarkStreamEarlyClose(b *testing.B) {
+	k := benchKB(benchProbeRows)
+	e := NewEngineSeeded(k, 1)
+	tmpl := MustParseTemplate("SELECT ?x ?y WHERE { ?x $r ?y }", "r")
+	p, err := e.Prepare(tmpl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := p.Iter(IRIArg("http://b/p"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			if !it.Next() {
+				b.Fatal("short stream")
+			}
+		}
+		it.Close()
+	}
+}
+
+// BenchmarkStreamFullScan drains the same scan completely, for the
+// wall-clock and allocation contrast with the early close.
+func BenchmarkStreamFullScan(b *testing.B) {
+	k := benchKB(benchProbeRows)
+	e := NewEngineSeeded(k, 1)
+	tmpl := MustParseTemplate("SELECT ?x ?y WHERE { ?x $r ?y }", "r")
+	p, err := e.Prepare(tmpl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := p.Iter(IRIArg("http://b/p"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if n != benchProbeRows {
+			b.Fatalf("rows = %d", n)
+		}
+	}
+}
+
+// BenchmarkFilterClosureProbe measures the compiled-filter hot loop:
+// a join with an attached comparison + EXISTS filter over the large
+// predicate, the shape the closure lowering (cexpr.go) targets.
+func BenchmarkFilterClosureProbe(b *testing.B) {
+	k := benchKB(2_000)
+	e := NewEngineSeeded(k, 1)
+	tmpl := MustParseTemplate(
+		"SELECT ?x ?y WHERE { ?x $r ?y . FILTER (STRLEN(STR(?y)) > 3 && NOT EXISTS { ?y <http://b/p> ?x }) } LIMIT 64", "r")
+	p, err := e.Prepare(tmpl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Exec(IRIArg("http://b/p")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -56,6 +56,19 @@
 // aligner's own probe stages run entirely on prepared templates; see
 // ARCHITECTURE.md for the parse → compile → exec pipeline and the KB
 // freeze lifecycle.
+//
+// Prepared queries also stream: Stream returns rows on demand, and
+// closing the stream early aborts the engine's join mid-flight, so
+// LIMIT-heavy probes never pay for rows they discard:
+//
+//	rows, _ := pq.Stream(ctx, sofya.IRIArg(a), sofya.IRIArg(b))
+//	defer rows.Close()
+//	for rows.Next() { use(rows.Row()) }
+//
+// A drained stream is byte-identical to the equivalent Select — RAND()
+// ordering included — and the caching/coalescing decorators stay
+// streaming-aware (drained prefixes are cached; coalesced waiters
+// replay one shared stream).
 package sofya
 
 import (
@@ -141,6 +154,11 @@ type (
 	// skip parsing, planning and interpolation; remote ones fall back
 	// to canonical text. Results are byte-identical to the text path.
 	PreparedQuery = endpoint.PreparedQuery
+	// Rows is a streamed SELECT result: rows arrive on demand through
+	// PreparedQuery.Stream, and closing early aborts the remaining
+	// work on endpoints that can (a drained stream is byte-identical
+	// to the equivalent Select).
+	Rows = endpoint.Rows
 	// QueryArg is one bound argument of a prepared query.
 	QueryArg = sparql.Arg
 )
