@@ -26,6 +26,7 @@ func main() {
 		which      = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7")
 		markdown   = flag.Bool("md", false, "emit markdown tables")
 		parallel   = flag.Int("parallel", 0, "aligner worker bound per run (0 = GOMAXPROCS; results are identical at any setting)")
+		shards     = flag.Int("shards", 1, "serve each KB as this many subject-hash shards behind a federating group (alignment output is identical at any setting; the E4 query/row accounting reflects the per-shard fan-out)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -58,6 +59,7 @@ func main() {
 	world := synth.Generate(spec)
 	setup := experiments.NewSetup(world)
 	setup.Parallelism = *parallel
+	setup.Shards = *shards
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*which, ",") {

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"sofya/internal/kb"
 	"sofya/internal/synth"
 )
 
@@ -19,6 +20,7 @@ func main() {
 		specName = flag.String("spec", "tiny", "world size: tiny | paper")
 		out      = flag.String("out", ".", "output directory")
 		seed     = flag.Int64("seed", 0, "override the spec's seed (0 keeps default)")
+		shards   = flag.Int("shards", 1, "additionally write each KB partitioned into this many subject-hash shard files (kb-shard-i-of-n.nt)")
 	)
 	flag.Parse()
 
@@ -46,10 +48,39 @@ func main() {
 	if err := writeTruth(w, filepath.Join(*out, "truth.tsv")); err != nil {
 		fatal(err)
 	}
+	if *shards > 1 {
+		// The N-Triples partitioner: per-shard snapshot files that load
+		// directly into the Local endpoints of a federation group.
+		if err := writeShards(w.Yago, "yago", *out, *shards); err != nil {
+			fatal(err)
+		}
+		if err := writeShards(w.Dbp, "dbpedia", *out, *shards); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("wrote %s: yago %d facts / %d relations, dbpedia %d facts / %d relations, %d links, %d gold pairs\n",
 		*out, w.Report.YagoFacts, len(w.Report.YagoRelations),
 		w.Report.DbpFacts, len(w.Report.DbpRelations),
 		w.Report.SameAsLinks, len(w.Truth.DbpToYago)+len(w.Truth.YagoToDbp))
+}
+
+// writeShards partitions base by subject hash and writes one N-Triples
+// file per shard, plus the whole-KB planner-statistics sidecar
+// (<name>-planstats.tsv). The partition is deterministic
+// (kb.SubjectShard of the canonical subject term), so re-running — or
+// partitioning on another machine — reproduces identical shard files.
+// To rebuild a byte-identical federation group from the files, load
+// each shard and install the sidecar with kb.ReadPlanStatsFile +
+// KB.SetPlanStats before serving — shard triples alone plan with local
+// cardinalities and can diverge from the unsharded engine.
+func writeShards(base *kb.KB, name, out string, n int) error {
+	for i, sh := range kb.Partition(base, n) {
+		path := filepath.Join(out, fmt.Sprintf("%s-shard-%d-of-%d.nt", name, i, n))
+		if err := sh.WriteFile(path); err != nil {
+			return err
+		}
+	}
+	return base.WritePlanStatsFile(filepath.Join(out, name+"-planstats.tsv"))
 }
 
 func writeLinks(w *synth.World, path string) error {

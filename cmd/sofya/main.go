@@ -29,6 +29,7 @@ import (
 	"sofya/internal/kb"
 	"sofya/internal/sameas"
 	"sofya/internal/sampling"
+	"sofya/internal/shard"
 	"sofya/internal/synth"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		all       = flag.Bool("all", false, "align every relation of K")
 		method    = flag.String("method", "ubs", "method: pca | cwa | ubs")
 		samples   = flag.Int("samples", 10, "sample size (subject entities)")
+		shards    = flag.Int("shards", 1, "partition each KB into this many subject-hash shards behind a federating endpoint group (results are identical at any setting)")
 		parallel  = flag.Int("parallel", 0, "pipeline worker bound (0 = GOMAXPROCS)")
 		batch     = flag.Bool("batch", false, "align relations concurrently over shared caching+coalescing endpoints")
 		verbose   = flag.Bool("v", false, "trace aligner decisions")
@@ -53,6 +55,7 @@ func main() {
 	cfg := methodConfig(*method)
 	cfg.SampleSize = *samples
 	cfg.Parallelism = *parallel
+	cfg.Shards = *shards
 	if *verbose {
 		cfg.Trace = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
@@ -65,8 +68,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	epK := endpoint.NewLocal(k, 1)
-	epKP := endpoint.NewLocal(kp, 2)
+	// Each KB serves unsharded, or split into subject-hash shards behind
+	// a federating group; either way the aligner sees one Endpoint and
+	// produces identical output.
+	endpointOf := func(base *kb.KB, seed int64) endpoint.Endpoint {
+		if cfg.Shards > 1 {
+			return shard.Partitioned(base, cfg.Shards, seed)
+		}
+		return endpoint.NewLocal(base, seed)
+	}
+	epK := endpointOf(k, 1)
+	epKP := endpointOf(kp, 2)
 
 	// In batch mode the aligner speaks to decorated endpoints: a
 	// caching layer memoizes identical queries, a coalescing layer on
@@ -131,8 +143,15 @@ func main() {
 				al.Support, al.Evidence, al.Contradictions, equiv)
 		}
 	}
+	statsOf := func(ep endpoint.Endpoint) endpoint.Stats {
+		if sr, ok := ep.(endpoint.StatsReporter); ok {
+			return sr.Stats()
+		}
+		return endpoint.Stats{}
+	}
+	sK, sKP := statsOf(epK), statsOf(epKP)
 	fmt.Fprintf(os.Stderr, "# queries: K=%d K'=%d rows: K=%d K'=%d\n",
-		epK.Stats().Queries, epKP.Stats().Queries, epK.Stats().Rows, epKP.Stats().Rows)
+		sK.Queries, sKP.Queries, sK.Rows, sKP.Rows)
 	if *batch {
 		csK, csKP := cacheK.CacheStats(), cacheKP.CacheStats()
 		fmt.Fprintf(os.Stderr, "# cache hits: K=%d/%d K'=%d/%d\n",

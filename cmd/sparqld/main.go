@@ -19,6 +19,7 @@ import (
 
 	"sofya/internal/endpoint"
 	"sofya/internal/kb"
+	"sofya/internal/shard"
 	"sofya/internal/synth"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		maxQueries = flag.Int("max-queries", 0, "session query budget (0 = unlimited)")
 		maxRows    = flag.Int("max-rows", 10000, "row cap per SELECT (0 = unlimited)")
 		seed       = flag.Int64("seed", 1, "RAND() seed")
+		shards     = flag.Int("shards", 1, "serve the KB as this many subject-hash shards behind a federating group")
 	)
 	flag.Parse()
 
@@ -60,11 +62,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	local := endpoint.NewLocalRestricted(base, *seed, endpoint.Quota{
-		MaxQueries: *maxQueries,
-		MaxRows:    *maxRows,
-	})
-	log.Printf("sparqld: serving %q (%d facts, %d relations) on %s",
-		base.Name(), base.Size(), len(base.Relations()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, endpoint.NewServer(local)))
+	quota := endpoint.Quota{MaxQueries: *maxQueries, MaxRows: *maxRows}
+	var serve endpoint.Endpoint
+	if *shards > 1 {
+		serve = shard.PartitionedRestricted(base, *shards, *seed, quota)
+	} else {
+		serve = endpoint.NewLocalRestricted(base, *seed, quota)
+	}
+	log.Printf("sparqld: serving %q (%d facts, %d relations, %d shard(s)) on %s",
+		base.Name(), base.Size(), len(base.Relations()), *shards, *addr)
+	log.Fatal(http.ListenAndServe(*addr, endpoint.NewServerEndpoint(serve)))
 }

@@ -201,7 +201,7 @@ func (p *cachingPrepared) Ask(args ...sparql.Arg) (bool, error) {
 }
 
 func (p *cachingPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) (*sparql.Result, error) {
-	key := preparedKey('S', p.source, p.params, args)
+	key := preparedKey('S', p.c.inner.Name(), p.source, p.params, args)
 	if res, ok := p.c.lookup(key); ok {
 		return res, nil
 	}
@@ -215,7 +215,7 @@ func (p *cachingPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) (*s
 }
 
 func (p *cachingPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, error) {
-	key := preparedKey('A', p.source, p.params, args)
+	key := preparedKey('A', p.c.inner.Name(), p.source, p.params, args)
 	if res, ok := p.c.lookup(key); ok {
 		return res.Ask, nil
 	}
@@ -237,7 +237,7 @@ func (p *cachingPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool,
 // entry: repeated identical probes that stop at the same point never
 // reach the inner endpoint again.
 func (p *cachingPrepared) Stream(ctx context.Context, args ...sparql.Arg) (Rows, error) {
-	key := preparedKey('S', p.source, p.params, args)
+	key := preparedKey('S', p.c.inner.Name(), p.source, p.params, args)
 	if res, complete, ok := p.c.lookupPrefix(key); ok {
 		if complete {
 			return newReplayRows(&res), nil

@@ -17,6 +17,11 @@ import (
 // batch of concurrent aligners exactly-once endpoint traffic per
 // distinct query.
 //
+// Flight keys include the inner endpoint's Name(), so one coalescer can
+// be shared across endpoints (For) — the shards of a federation group,
+// or a group and its inner endpoints — without a query against one
+// endpoint answering the same text against another.
+//
 // Unlike Caching it remembers nothing: once a query completes, the next
 // identical call probes again. The shared probe is detached from every
 // individual caller's context (context.WithoutCancel), so one caller's
@@ -25,7 +30,13 @@ import (
 // for whoever remains. Results are shared between coalesced callers —
 // treat rows as read-only, as with any endpoint.
 type Coalescing struct {
-	inner     Endpoint
+	inner Endpoint
+	core  *coalesceCore
+}
+
+// coalesceCore is the in-flight state a family of Coalescing views
+// shares: the drain-path singleflight groups and the shared streams.
+type coalesceCore struct {
 	sel       flight.Group[string, *sparql.Result]
 	ask       flight.Group[string, bool]
 	coalesced atomic.Int64
@@ -38,7 +49,20 @@ type Coalescing struct {
 
 // NewCoalescing wraps inner with in-flight query deduplication.
 func NewCoalescing(inner Endpoint) *Coalescing {
-	return &Coalescing{inner: inner, streams: make(map[string]*sharedStream)}
+	return &Coalescing{inner: inner, core: &coalesceCore{streams: make(map[string]*sharedStream)}}
+}
+
+// For returns a view of this coalescer over a different inner endpoint.
+// The views share one in-flight table; keys carry each endpoint's name,
+// so identical query texts against different endpoints never coalesce
+// with each other, while concurrent callers of the same endpoint do.
+func (c *Coalescing) For(inner Endpoint) *Coalescing {
+	return &Coalescing{inner: inner, core: c.core}
+}
+
+// textKey scopes a raw query text to the inner endpoint.
+func (c *Coalescing) textKey(query string) string {
+	return c.inner.Name() + "\x00" + query
 }
 
 // Name implements Endpoint.
@@ -56,11 +80,11 @@ func (c *Coalescing) Ask(query string) (bool, error) {
 
 // SelectCtx implements Endpoint.
 func (c *Coalescing) SelectCtx(ctx context.Context, query string) (*sparql.Result, error) {
-	res, err, shared := c.sel.DoCtx(ctx, query, func() (*sparql.Result, error) {
+	res, err, shared := c.core.sel.DoCtx(ctx, c.textKey(query), func() (*sparql.Result, error) {
 		return c.inner.SelectCtx(context.WithoutCancel(ctx), query)
 	})
 	if shared {
-		c.coalesced.Add(1)
+		c.core.coalesced.Add(1)
 	}
 	if err != nil {
 		return nil, err
@@ -71,18 +95,18 @@ func (c *Coalescing) SelectCtx(ctx context.Context, query string) (*sparql.Resul
 
 // AskCtx implements Endpoint.
 func (c *Coalescing) AskCtx(ctx context.Context, query string) (bool, error) {
-	ok, err, shared := c.ask.DoCtx(ctx, query, func() (bool, error) {
+	ok, err, shared := c.core.ask.DoCtx(ctx, c.textKey(query), func() (bool, error) {
 		return c.inner.AskCtx(context.WithoutCancel(ctx), query)
 	})
 	if shared {
-		c.coalesced.Add(1)
+		c.core.coalesced.Add(1)
 	}
 	return ok, err
 }
 
 // Prepare implements Endpoint: prepared executions singleflight on the
-// template source plus rendered arguments, sharing the group with
-// other prepared handles of the same template.
+// endpoint name, template source and rendered arguments, sharing the
+// group with other prepared handles of the same template.
 func (c *Coalescing) Prepare(template string, params ...string) (PreparedQuery, error) {
 	inner, err := c.inner.Prepare(template, params...)
 	if err != nil {
@@ -107,12 +131,12 @@ func (p *coalescingPrepared) Ask(args ...sparql.Arg) (bool, error) {
 }
 
 func (p *coalescingPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) (*sparql.Result, error) {
-	key := preparedKey('S', p.source, p.params, args)
-	res, err, shared := p.c.sel.DoCtx(ctx, key, func() (*sparql.Result, error) {
+	key := preparedKey('S', p.c.inner.Name(), p.source, p.params, args)
+	res, err, shared := p.c.core.sel.DoCtx(ctx, key, func() (*sparql.Result, error) {
 		return p.inner.SelectCtx(context.WithoutCancel(ctx), args...)
 	})
 	if shared {
-		p.c.coalesced.Add(1)
+		p.c.core.coalesced.Add(1)
 	}
 	if err != nil {
 		return nil, err
@@ -122,12 +146,12 @@ func (p *coalescingPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) 
 }
 
 func (p *coalescingPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, error) {
-	key := preparedKey('A', p.source, p.params, args)
-	ok, err, shared := p.c.ask.DoCtx(ctx, key, func() (bool, error) {
+	key := preparedKey('A', p.c.inner.Name(), p.source, p.params, args)
+	ok, err, shared := p.c.core.ask.DoCtx(ctx, key, func() (bool, error) {
 		return p.inner.AskCtx(context.WithoutCancel(ctx), args...)
 	})
 	if shared {
-		p.c.coalesced.Add(1)
+		p.c.core.coalesced.Add(1)
 	}
 	return ok, err
 }
@@ -143,18 +167,18 @@ func (p *coalescingPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bo
 // drained it). Like the drain paths, nothing is remembered: once the
 // last consumer closes, the next identical call probes again.
 func (p *coalescingPrepared) Stream(ctx context.Context, args ...sparql.Arg) (Rows, error) {
-	key := preparedKey('S', p.source, p.params, args)
-	c := p.c
-	c.smu.Lock()
-	if s, ok := c.streams[key]; ok {
+	key := preparedKey('S', p.c.inner.Name(), p.source, p.params, args)
+	core := p.c.core
+	core.smu.Lock()
+	if s, ok := core.streams[key]; ok {
 		s.refs++
-		c.smu.Unlock()
-		c.coalesced.Add(1)
+		core.smu.Unlock()
+		core.coalesced.Add(1)
 		return &sharedRows{s: s}, nil
 	}
-	s := newSharedStream(c, key)
-	c.streams[key] = s
-	c.smu.Unlock()
+	s := newSharedStream(core, key)
+	core.streams[key] = s
+	core.smu.Unlock()
 
 	inner, err := p.inner.Stream(context.WithoutCancel(ctx), args...)
 	s.opened(inner, err)
@@ -169,8 +193,8 @@ func (p *coalescingPrepared) Stream(ctx context.Context, args ...sparql.Arg) (Ro
 // coalesced consumers: a grow-only row buffer fed from the inner stream
 // by whichever consumer needs a row first.
 type sharedStream struct {
-	c   *Coalescing
-	key string
+	core *coalesceCore
+	key  string
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -183,11 +207,11 @@ type sharedStream struct {
 	err       error
 	trunc     bool
 
-	refs int // guarded by c.smu
+	refs int // guarded by core.smu
 }
 
-func newSharedStream(c *Coalescing, key string) *sharedStream {
-	s := &sharedStream{c: c, key: key, refs: 1}
+func newSharedStream(core *coalesceCore, key string) *sharedStream {
+	s := &sharedStream{core: core, key: key, refs: 1}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -209,11 +233,11 @@ func (s *sharedStream) opened(inner Rows, err error) {
 	s.mu.Unlock()
 	s.cond.Broadcast()
 	if err != nil {
-		s.c.smu.Lock()
-		if s.c.streams[s.key] == s {
-			delete(s.c.streams, s.key)
+		s.core.smu.Lock()
+		if s.core.streams[s.key] == s {
+			delete(s.core.streams, s.key)
 		}
-		s.c.smu.Unlock()
+		s.core.smu.Unlock()
 	}
 }
 
@@ -263,13 +287,13 @@ func (s *sharedStream) state() (err error, trunc bool) {
 // delete is guarded: an errored stream may already have been replaced
 // under the same key, and the replacement must not be removed.
 func (s *sharedStream) detach() {
-	s.c.smu.Lock()
+	s.core.smu.Lock()
 	s.refs--
 	last := s.refs == 0
-	if last && s.c.streams[s.key] == s {
-		delete(s.c.streams, s.key)
+	if last && s.core.streams[s.key] == s {
+		delete(s.core.streams, s.key)
 	}
-	s.c.smu.Unlock()
+	s.core.smu.Unlock()
 	if last && s.inner != nil {
 		s.inner.Close()
 	}
@@ -328,8 +352,9 @@ func (r *sharedRows) Close() {
 var _ Rows = (*sharedRows)(nil)
 
 // Coalesced reports how many calls were served by another caller's
-// in-flight query instead of probing the inner endpoint.
-func (c *Coalescing) Coalesced() int64 { return c.coalesced.Load() }
+// in-flight query instead of probing an inner endpoint. Views created
+// with For share the counter.
+func (c *Coalescing) Coalesced() int64 { return c.core.coalesced.Load() }
 
 // Stats implements StatsReporter by delegating to the inner endpoint.
 func (c *Coalescing) Stats() Stats {

@@ -212,7 +212,7 @@ func TestCoalescingSharesInFlightQueries(t *testing.T) {
 	}
 	// wait until the leader holds the gate and every follower has
 	// joined its flight, then release
-	for inner.selects.Load() == 0 || c.sel.Waiting(selP) < n-1 {
+	for inner.selects.Load() == 0 || c.core.sel.Waiting(c.textKey(selP)) < n-1 {
 		time.Sleep(time.Millisecond)
 	}
 	close(inner.gate)
@@ -264,7 +264,7 @@ func TestCoalescingLeaderCancellationDoesNotPoisonWaiters(t *testing.T) {
 		}
 		followerRows <- len(res.Rows)
 	}()
-	for c.sel.Waiting(selP) < 1 {
+	for c.core.sel.Waiting(c.textKey(selP)) < 1 {
 		time.Sleep(time.Millisecond)
 	}
 

@@ -15,16 +15,20 @@ import (
 // ResultsContentType is the media type of the SPARQL results JSON format.
 const ResultsContentType = "application/sparql-results+json"
 
-// Server exposes a Local endpoint over the SPARQL 1.1 protocol:
+// Server exposes an endpoint over the SPARQL 1.1 protocol:
 // GET  /sparql?query=...          (query in the URL)
 // POST /sparql with form field "query" or a raw application/sparql-query
 // body.
 type Server struct {
-	local *Local
+	local Endpoint
 }
 
 // NewServer wraps a Local endpoint for HTTP serving.
 func NewServer(local *Local) *Server { return &Server{local: local} }
+
+// NewServerEndpoint wraps any Endpoint — a sharded federation group, a
+// decorated stack — for HTTP serving.
+func NewServerEndpoint(ep Endpoint) *Server { return &Server{local: ep} }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {

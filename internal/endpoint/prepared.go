@@ -36,17 +36,22 @@ type PreparedQuery interface {
 }
 
 // preparedKey renders a stable cache/coalescing key for one execution
-// of a prepared query: the template source, its parameter declaration
-// order, and the canonical argument renderings. Two prepared handles
-// over the same template and parameter list — even from different
-// decorator instances or pipeline stages — collide on identical
-// arguments; the parameter names keep handles that declare the same
-// text with a different parameter order (different semantics) apart.
-func preparedKey(form byte, source string, params []string, args []sparql.Arg) string {
+// of a prepared query: the endpoint name, the template source, its
+// parameter declaration order, and the canonical argument renderings.
+// Two prepared handles over the same endpoint, template and parameter
+// list — even from different decorator instances or pipeline stages —
+// collide on identical arguments; the parameter names keep handles that
+// declare the same text with a different parameter order (different
+// semantics) apart, and the endpoint name keeps identical templates
+// against different endpoints (the shards of a federation group) from
+// answering each other.
+func preparedKey(form byte, name, source string, params []string, args []sparql.Arg) string {
 	var sb strings.Builder
-	sb.Grow(len(source) + 16*(len(args)+len(params)) + 4)
+	sb.Grow(len(name) + len(source) + 16*(len(args)+len(params)) + 5)
 	sb.WriteByte('P')
 	sb.WriteByte(form)
+	sb.WriteByte(0)
+	sb.WriteString(name)
 	sb.WriteByte(0)
 	sb.WriteString(source)
 	for _, p := range params {

@@ -134,8 +134,8 @@ func TestCoalescingPrepared(t *testing.T) {
 			done <- err
 		}()
 	}
-	key := preparedKey('S', "SELECT ?y WHERE { $s <http://x/p> ?y }", []string{"s"}, []sparql.Arg{sparql.IRIArg("http://x/a")})
-	for inner.selects.Load() == 0 || co.sel.Waiting(key) < n-1 {
+	key := preparedKey('S', co.Name(), "SELECT ?y WHERE { $s <http://x/p> ?y }", []string{"s"}, []sparql.Arg{sparql.IRIArg("http://x/a")})
+	for inner.selects.Load() == 0 || co.core.sel.Waiting(key) < n-1 {
 		time.Sleep(time.Millisecond)
 	}
 	close(inner.gate)

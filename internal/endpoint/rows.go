@@ -43,6 +43,11 @@ func newReplayRows(res *sparql.Result) *replayRows {
 	return &replayRows{vars: res.Vars, rows: res.Rows, trunc: res.Truncated}
 }
 
+// ReplayRows exposes the drain-then-iterate adapter to other endpoint
+// implementations (the shard federation replays merged results with
+// it). The result's rows are shared, not copied.
+func ReplayRows(res *sparql.Result) Rows { return newReplayRows(res) }
+
 func (r *replayRows) Vars() []string { return r.vars }
 
 func (r *replayRows) Next() bool {

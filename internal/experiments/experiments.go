@@ -10,7 +10,9 @@ import (
 	"sofya/internal/endpoint"
 	"sofya/internal/eval"
 	"sofya/internal/ilp"
+	"sofya/internal/kb"
 	"sofya/internal/sampling"
+	"sofya/internal/shard"
 	"sofya/internal/synth"
 )
 
@@ -59,6 +61,12 @@ type Setup struct {
 	// Results are identical at any setting (the endpoints are seeded
 	// Locals); only the wall clock changes.
 	Parallelism int
+	// Shards partitions each KB into this many subject-hash shards
+	// behind a federating endpoint group (internal/shard) when > 1.
+	// Results are identical at any setting — the federation's merge is
+	// byte-identical to the unsharded endpoints — while query counts
+	// reflect the per-shard fan-out.
+	Shards int
 }
 
 // NewSetup wraps a world with the default seed.
@@ -79,22 +87,30 @@ func (s *Setup) Run(dir Direction, cfg core.Config) (*DirectionRun, error) {
 	if s.Parallelism > 0 {
 		cfg.Parallelism = s.Parallelism
 	}
+	// endpointOf serves a KB unsharded, or behind a subject-hash
+	// federation group when the setup requests shards.
+	endpointOf := func(base *kb.KB, seed int64) endpoint.Endpoint {
+		if s.Shards > 1 {
+			return shard.Partitioned(base, s.Shards, seed)
+		}
+		return endpoint.NewLocal(base, seed)
+	}
 	var (
-		k, kp *endpoint.Local
+		k, kp endpoint.Endpoint
 		heads []string
 		links sampling.LinkView
 		gold  *eval.Gold
 	)
 	switch dir {
 	case DbpToYago:
-		k = endpoint.NewLocal(w.Yago, s.Seed)
-		kp = endpoint.NewLocal(w.Dbp, s.Seed+1)
+		k = endpointOf(w.Yago, s.Seed)
+		kp = endpointOf(w.Dbp, s.Seed+1)
 		links = sampling.LinkView{Links: w.Links, KIsA: true}
 		heads = w.Report.YagoRelations
 		gold = goldOf(w.Truth.DbpToYago)
 	default:
-		k = endpoint.NewLocal(w.Dbp, s.Seed+2)
-		kp = endpoint.NewLocal(w.Yago, s.Seed+3)
+		k = endpointOf(w.Dbp, s.Seed+2)
+		kp = endpointOf(w.Yago, s.Seed+3)
 		links = sampling.LinkView{Links: w.Links, KIsA: false}
 		heads = w.Report.DbpRelations
 		gold = goldOf(w.Truth.YagoToDbp)
@@ -110,8 +126,12 @@ func (s *Setup) Run(dir Direction, cfg core.Config) (*DirectionRun, error) {
 		run.HeadsAligned++
 	}
 	run.PRF = eval.Score(run.All, gold)
-	run.QueriesHead, run.RowsHead = k.Stats().Queries, k.Stats().Rows
-	run.QueriesBody, run.RowsBody = kp.Stats().Queries, kp.Stats().Rows
+	if sr, ok := k.(endpoint.StatsReporter); ok {
+		run.QueriesHead, run.RowsHead = sr.Stats().Queries, sr.Stats().Rows
+	}
+	if sr, ok := kp.(endpoint.StatsReporter); ok {
+		run.QueriesBody, run.RowsBody = sr.Stats().Queries, sr.Stats().Rows
+	}
 	return run, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -237,5 +238,32 @@ func TestTable1FullScale(t *testing.T) {
 	// baselines sit well below UBS precision, as in Table 1
 	if pcaRow.Y2D.Precision > ubsRow.Y2D.Precision {
 		t.Errorf("pcaconf precision above UBS: %+v vs %+v", pcaRow, ubsRow)
+	}
+}
+
+// A sharded setup reproduces the unsharded run exactly — alignments,
+// scores and all — while the query accounting reflects the per-shard
+// fan-out.
+func TestRunShardedIdentical(t *testing.T) {
+	base := tinySetup()
+	want, err := base.Run(DbpToYago, core.UBSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := tinySetup()
+	sharded.Shards = 3
+	got, err := sharded.Run(DbpToYago, core.UBSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.All, want.All) {
+		t.Fatal("sharded run's alignments diverge from the unsharded run")
+	}
+	if got.PRF != want.PRF {
+		t.Fatalf("sharded PRF %+v != unsharded %+v", got.PRF, want.PRF)
+	}
+	if got.QueriesHead <= want.QueriesHead {
+		t.Fatalf("sharded head queries %d should exceed unsharded %d (per-shard fan-out)",
+			got.QueriesHead, want.QueriesHead)
 	}
 }

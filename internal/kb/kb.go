@@ -51,6 +51,11 @@ type KB struct {
 	// fr is the compacted read index; nil while mutable.
 	fr *frozen
 
+	// planStats overrides the statistics the query planner reads; nil
+	// means the KB's own counts. Installed by SetPlanStats on partition
+	// shards so they plan like the whole KB (see partition.go).
+	planStats map[TermID]PredStats
+
 	size int
 }
 

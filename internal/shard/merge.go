@@ -1,0 +1,470 @@
+package shard
+
+import (
+	"sort"
+	"strings"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/rdf"
+	"sofya/internal/sparql"
+)
+
+// merge.go reassembles shard answers into the whole-KB result. Two
+// lazy pullers produce merged rows in a defined order — concatenation
+// in shard order, or k-way merge on ascending subject term (= whole-KB
+// enumeration order for star queries) — and fanoutRows applies the
+// merge-point result pipeline (DISTINCT dedup, OFFSET skip, LIMIT
+// early-exit) over either. Ordered queries drain first and go through
+// mergeOrderedResults, which re-derives ORDER BY keys on the
+// reconstructed enumeration and selects rows with the engine's own
+// comparator.
+
+// rowsSource is the per-shard stream the mergers consume.
+type rowsSource = endpoint.Rows
+
+// replaySources wraps drained shard results as merge inputs
+// (endpoint.ReplayRows is the shared drain-then-iterate adapter).
+func replaySources(results []*sparql.Result) []rowsSource {
+	out := make([]rowsSource, len(results))
+	for i, res := range results {
+		out[i] = endpoint.ReplayRows(res)
+	}
+	return out
+}
+
+// capResult applies a group-level row cap to a final result, with the
+// unsharded endpoint's semantics: truncate only when rows actually
+// exceed the cap, and flag it. The result is copied before truncation
+// — a routed shard may hand out a shared object (a caching decorator's
+// entry), which must not be mutated.
+func capResult(res *sparql.Result, maxRows int) *sparql.Result {
+	if maxRows > 0 && len(res.Rows) > maxRows {
+		capped := *res
+		capped.Rows = capped.Rows[:maxRows]
+		capped.Truncated = true
+		return &capped
+	}
+	return res
+}
+
+// capRows enforces the group-level row cap on a routed stream: rows
+// pass through until the cap, and truncation is flagged only if the
+// shard had another row to give.
+type capRows struct {
+	inner   endpoint.Rows
+	maxRows int
+	n       int
+	trunc   bool
+	done    bool
+}
+
+func newCapRows(inner endpoint.Rows, maxRows int) endpoint.Rows {
+	if maxRows <= 0 {
+		return inner
+	}
+	return &capRows{inner: inner, maxRows: maxRows}
+}
+
+func (r *capRows) Vars() []string  { return r.inner.Vars() }
+func (r *capRows) Row() []rdf.Term { return r.inner.Row() }
+func (r *capRows) Err() error      { return r.inner.Err() }
+func (r *capRows) Truncated() bool { return r.trunc || r.inner.Truncated() }
+
+func (r *capRows) Next() bool {
+	if r.done {
+		return false
+	}
+	if r.n >= r.maxRows {
+		if r.inner.Next() {
+			r.trunc = true
+		}
+		r.done = true
+		r.inner.Close()
+		return false
+	}
+	if !r.inner.Next() {
+		r.done = true
+		return false
+	}
+	r.n++
+	return true
+}
+
+func (r *capRows) Close() {
+	r.done = true
+	r.inner.Close()
+}
+
+// puller produces merged rows one at a time, in the merge's order.
+type puller interface {
+	// next returns the next merged row; ok is false at exhaustion or
+	// error (err reports which — a shard quota rejection mid-stream
+	// arrives here, not as a silent end).
+	next() (row []rdf.Term, ok bool, err error)
+	// truncated reports whether any contributing shard stream was
+	// truncated so far.
+	truncated() bool
+	// close closes every shard stream (early, if rows remain).
+	close()
+}
+
+// concatPuller yields each shard's rows in shard order.
+type concatPuller struct {
+	sources []rowsSource
+	i       int
+}
+
+func newConcatPuller(sources []rowsSource) *concatPuller {
+	return &concatPuller{sources: sources}
+}
+
+func (c *concatPuller) next() ([]rdf.Term, bool, error) {
+	for c.i < len(c.sources) {
+		src := c.sources[c.i]
+		if src.Next() {
+			return src.Row(), true, nil
+		}
+		if err := src.Err(); err != nil {
+			return nil, false, err
+		}
+		c.i++
+	}
+	return nil, false, nil
+}
+
+func (c *concatPuller) truncated() bool { return anyTruncated(c.sources) }
+func (c *concatPuller) close()          { closeAll(c.sources) }
+
+// subjectPuller k-way merges shard streams on ascending subject term.
+// Each stream is non-decreasing in its subject column (star queries
+// enumerate grouped by subject in term order) and subjects never span
+// shards, so always yielding the head with the least subject term
+// reconstructs the whole-KB enumeration exactly.
+type subjectPuller struct {
+	sources []rowsSource
+	heads   [][]rdf.Term
+	col     int
+	primed  bool
+	err     error
+}
+
+func newSubjectPuller(sources []rowsSource, col int) *subjectPuller {
+	return &subjectPuller{sources: sources, heads: make([][]rdf.Term, len(sources)), col: col}
+}
+
+// advance pulls the next head of source i.
+func (m *subjectPuller) advance(i int) error {
+	if m.sources[i].Next() {
+		m.heads[i] = m.sources[i].Row()
+		return nil
+	}
+	m.heads[i] = nil
+	return m.sources[i].Err()
+}
+
+func (m *subjectPuller) next() ([]rdf.Term, bool, error) {
+	if m.err != nil {
+		return nil, false, m.err
+	}
+	if !m.primed {
+		m.primed = true
+		for i := range m.sources {
+			if err := m.advance(i); err != nil {
+				m.err = err
+				return nil, false, err
+			}
+		}
+	}
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || h[m.col].Compare(m.heads[best][m.col]) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	row := m.heads[best]
+	if err := m.advance(best); err != nil {
+		m.err = err
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (m *subjectPuller) truncated() bool { return anyTruncated(m.sources) }
+func (m *subjectPuller) close()          { closeAll(m.sources) }
+
+func anyTruncated(sources []rowsSource) bool {
+	for _, s := range sources {
+		if s.Truncated() {
+			return true
+		}
+	}
+	return false
+}
+
+func closeAll(sources []rowsSource) {
+	for _, s := range sources {
+		s.Close()
+	}
+}
+
+// rowKey renders a projected row for DISTINCT dedup. Terms render
+// canonically, so the key agrees with the engine's TermID-based dedup.
+func rowKey(row []rdf.Term) string {
+	var sb strings.Builder
+	for _, t := range row {
+		sb.WriteString(t.String())
+		sb.WriteByte(0x1f)
+	}
+	return sb.String()
+}
+
+// fanoutRows is the merged stream handed to callers: it applies the
+// merge-point result pipeline over a puller and implements the Rows
+// contract, closing every shard stream as soon as the LIMIT is
+// satisfied (the losing shards stop producing) or the caller closes.
+type fanoutRows struct {
+	vars    []string
+	p       puller
+	seen    map[string]struct{} // nil when not DISTINCT
+	offset  int
+	limit   int
+	maxRows int // group-level row cap (0 = unlimited)
+	emitted int
+	row     []rdf.Term
+	err     error
+	trunc   bool
+	done    bool
+}
+
+func newFanoutRows(vars []string, p puller, distinct bool, offset, limit, maxRows int) *fanoutRows {
+	f := &fanoutRows{vars: vars, p: p, offset: offset, limit: limit, maxRows: maxRows}
+	if distinct {
+		f.seen = make(map[string]struct{})
+	}
+	return f
+}
+
+func (f *fanoutRows) Vars() []string  { return f.vars }
+func (f *fanoutRows) Row() []rdf.Term { return f.row }
+func (f *fanoutRows) Err() error      { return f.err }
+func (f *fanoutRows) Truncated() bool { return f.trunc }
+
+func (f *fanoutRows) Next() bool {
+	if f.done {
+		return false
+	}
+	if f.limit >= 0 && f.emitted >= f.limit {
+		f.finish()
+		return false
+	}
+	capped := f.maxRows > 0 && f.emitted >= f.maxRows
+	for {
+		row, ok, err := f.p.next()
+		if err != nil {
+			f.err = err
+			f.finish()
+			return false
+		}
+		if !ok {
+			f.finish()
+			return false
+		}
+		if f.seen != nil {
+			key := rowKey(row)
+			if _, dup := f.seen[key]; dup {
+				continue
+			}
+			f.seen[key] = struct{}{}
+		}
+		if f.offset > 0 {
+			f.offset--
+			continue
+		}
+		if capped {
+			// The group-level row cap is reached and another row was
+			// available: flag truncation, like the unsharded endpoint.
+			f.trunc = true
+			f.finish()
+			return false
+		}
+		f.row = row
+		f.emitted++
+		return true
+	}
+}
+
+func (f *fanoutRows) Close() { f.finish() }
+
+func (f *fanoutRows) finish() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.row = nil
+	f.trunc = f.trunc || f.p.truncated()
+	f.p.close()
+}
+
+var _ endpoint.Rows = (*fanoutRows)(nil)
+
+// drainMerged collects a merged stream into a Result.
+func drainMerged(vars []string, p puller, distinct bool, offset, limit, maxRows int) (*sparql.Result, error) {
+	rows := newFanoutRows(vars, p, distinct, offset, limit, maxRows)
+	defer rows.Close()
+	res := &sparql.Result{Vars: vars}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	res.Truncated = rows.Truncated()
+	return res, nil
+}
+
+// Truncated in fanoutRows.finish aggregates shard truncation; the
+// group-level cap sets it directly in Next.
+
+// orderedMergeSpec parameterizes the ORDER BY reassembly.
+type orderedMergeSpec struct {
+	col        int                    // merge column (subject)
+	keys       []sparql.ShardOrderKey // per ORDER BY key
+	orderTotal bool                   // bounded top-k selection is sound
+	distinct   bool
+	limit      int
+	offset     int
+	maxRows    int // group-level row cap (0 = unlimited)
+	seed       int64
+	text       string // canonical original text: the RAND stream's name
+}
+
+// mrow is one merged candidate row with its re-derived sort keys and
+// its whole-KB enumeration index — the tiebreak that makes the bounded
+// selection order total, exactly as in the engine.
+type mrow struct {
+	row  []rdf.Term
+	keys []sparql.Value
+	idx  int
+}
+
+// mergeOrderedResults reassembles an ORDER BY query from drained shard
+// results: rows are enumerated in reconstructed whole-KB order
+// (subject-term merge), DISTINCT drops duplicates before any key is
+// derived (duplicates consume no RAND draw, as in the engine), each
+// key is re-drawn (bare RAND, from the engine-identical stream) or
+// re-evaluated (deterministic keys, over the projected row), and the
+// final order is the engine's: a bounded top-k under the total
+// (keys, enumeration-index) order when the key list is statically
+// total-ordered and a LIMIT is set, the reference stable sort by keys
+// alone otherwise.
+func mergeOrderedResults(vars []string, results []*sparql.Result, spec orderedMergeSpec) (*sparql.Result, error) {
+	res := &sparql.Result{Vars: vars}
+	for _, r := range results {
+		if r.Truncated {
+			res.Truncated = true
+		}
+	}
+
+	target := -1
+	if spec.limit >= 0 {
+		target = spec.offset + spec.limit
+		if target == 0 {
+			return res, nil
+		}
+	}
+	bounded := target >= 0 && spec.orderTotal
+
+	// The comparators are the engine's own (sparql.CompareKeys, the
+	// single definition both sides use), with the enumeration index as
+	// the tiebreak that makes `before` total.
+	desc := make([]bool, len(spec.keys))
+	for i, k := range spec.keys {
+		desc[i] = k.Desc
+	}
+	keyLess := func(a, b *mrow) bool {
+		return sparql.CompareKeys(a.keys, b.keys, desc) < 0
+	}
+	before := func(a, b *mrow) bool {
+		if c := sparql.CompareKeys(a.keys, b.keys, desc); c != 0 {
+			return c < 0
+		}
+		return a.idx < b.idx
+	}
+
+	var draw func() float64
+	for _, k := range spec.keys {
+		if k.Rand {
+			draw = sparql.RandFloats(spec.seed, spec.text)
+			break
+		}
+	}
+
+	var seen map[string]struct{}
+	if spec.distinct {
+		seen = make(map[string]struct{})
+	}
+	var rows []mrow
+	idx := 0
+	merge := newSubjectPuller(replaySources(results), spec.col)
+	for {
+		row, ok, err := merge.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if seen != nil {
+			key := rowKey(row)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+		}
+		cur := mrow{row: row, keys: make([]sparql.Value, len(spec.keys)), idx: idx}
+		idx++
+		for i, k := range spec.keys {
+			if k.Rand {
+				cur.keys[i] = sparql.NumValue(draw())
+			} else {
+				cur.keys[i] = k.Eval(row)
+			}
+		}
+		if bounded && len(rows) == target {
+			// The heap root is the worst kept row; a newcomer that does
+			// not order before it can never reach the output.
+			if !before(&cur, &rows[0]) {
+				continue
+			}
+			rows[0] = cur
+			sparql.HeapSiftDown(rows, 0, before)
+			continue
+		}
+		rows = append(rows, cur)
+		if bounded {
+			sparql.HeapSiftUp(rows, len(rows)-1, before)
+		}
+	}
+
+	if bounded {
+		sort.Slice(rows, func(i, j int) bool { return before(&rows[i], &rows[j]) })
+	} else {
+		// rows are in reconstructed enumeration order; the stable sort
+		// with the pure key comparator reproduces the engine exactly.
+		sort.SliceStable(rows, func(i, j int) bool { return keyLess(&rows[i], &rows[j]) })
+	}
+	end := len(rows)
+	if target >= 0 && target < end {
+		end = target
+	}
+	for i := spec.offset; i < end; i++ {
+		res.Rows = append(res.Rows, rows[i].row)
+	}
+	return capResult(res, spec.maxRows), nil
+}

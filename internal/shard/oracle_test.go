@@ -1,0 +1,339 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+	"sofya/internal/sparql"
+	"sofya/internal/synth"
+)
+
+// The differential oracle: a Group over k subject-hash shards must
+// answer byte-identically to a Local endpoint over the unsharded KB —
+// Select, Ask, prepared execution and streaming, ORDER BY RAND() LIMIT
+// probes included — for every shard count.
+
+var oracleShardCounts = []int{1, 2, 3, 7}
+
+func renderResult(res *sparql.Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Vars, ","))
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		for _, t := range row {
+			sb.WriteString(t.String())
+			sb.WriteByte('\t')
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "truncated=%v", res.Truncated)
+	return sb.String()
+}
+
+func drainStream(t *testing.T, rows endpoint.Rows) *sparql.Result {
+	t.Helper()
+	defer rows.Close()
+	res := &sparql.Result{Vars: rows.Vars()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	res.Truncated = rows.Truncated()
+	return res
+}
+
+// sampleFact returns one (s, o) entity pair of rel from the endpoint.
+func sampleFact(t *testing.T, ep endpoint.Endpoint, rel string) (string, string) {
+	t.Helper()
+	res, err := ep.Select(fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } LIMIT 1", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatalf("relation %s has no facts", rel)
+	}
+	return res.Rows[0][0].Value, res.Rows[0][1].Value
+}
+
+// entityRelations picks two relations with entity objects and facts.
+func entityRelations(t *testing.T, w *synth.World) (string, string) {
+	t.Helper()
+	k := w.Yago
+	k.Freeze()
+	var rels []string
+	for _, p := range k.Relations() {
+		iri := k.Term(p).Value
+		n := 0
+		entity := true
+		k.EachFactOf(p, func(s, o kb.TermID) bool {
+			n++
+			if k.Term(o).IsLiteral() {
+				entity = false
+			}
+			return n < 5 && entity
+		})
+		if n >= 3 && entity {
+			rels = append(rels, iri)
+		}
+		if len(rels) == 2 {
+			return rels[0], rels[1]
+		}
+	}
+	t.Fatalf("world has fewer than two entity relations (found %d)", len(rels))
+	return "", ""
+}
+
+func oracleQueries(rel, rel2, s, o string) (selects, asks []string) {
+	selects = []string{
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y }", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } LIMIT 4", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } LIMIT 0", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } LIMIT 4 OFFSET 3", rel),
+		fmt.Sprintf("SELECT DISTINCT ?x WHERE { ?x <%s> ?y }", rel),
+		fmt.Sprintf("SELECT DISTINCT ?x WHERE { ?x <%s> ?y } LIMIT 3 OFFSET 1", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y . FILTER (?x != ?y) }", rel),
+		fmt.Sprintf("SELECT ?x ?y ?z WHERE { ?x <%s> ?y . ?x <%s> ?z }", rel, rel2),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y . FILTER NOT EXISTS { ?x <%s> ?y } }", rel, rel2),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT 5", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT 200", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND()", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT 3 OFFSET 2", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY ?y LIMIT 6", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY DESC(?x) ?y", rel),
+		fmt.Sprintf(`SELECT ?x ?y1 ?y2 WHERE {
+  ?x <%s> ?y1 .
+  ?x <%s> ?y2 .
+  FILTER NOT EXISTS { ?x <%s> ?y2 }
+} ORDER BY RAND() LIMIT 4`, rel, rel2, rel),
+		fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", s, o),
+		fmt.Sprintf("SELECT ?p ?v WHERE { <%s> ?p ?v . FILTER ISLITERAL(?v) }", s),
+		fmt.Sprintf("SELECT ?y WHERE { <%s> <%s> ?y }", s, rel),
+		fmt.Sprintf("SELECT ?y WHERE { <http://nowhere/entity> <%s> ?y }", rel),
+	}
+	asks = []string{
+		fmt.Sprintf("ASK { <%s> <%s> <%s> }", s, rel, o),
+		fmt.Sprintf("ASK { <%s> <%s> <%s> }", s, rel2, o),
+		fmt.Sprintf("ASK { ?x <%s> ?y }", rel),
+		"ASK { ?x <http://nowhere/rel> ?y }",
+	}
+	return selects, asks
+}
+
+func TestGroupTextOracle(t *testing.T) {
+	w := synth.Generate(synth.TinySpec())
+	rel, rel2 := entityRelations(t, w)
+	const seed = 7
+	local := endpoint.NewLocal(w.Yago, seed)
+	s, o := sampleFact(t, local, rel)
+	selects, asks := oracleQueries(rel, rel2, s, o)
+
+	for _, k := range oracleShardCounts {
+		g := Partitioned(w.Yago, k, seed)
+		for _, q := range selects {
+			want, err := local.Select(q)
+			if err != nil {
+				t.Fatalf("local %q: %v", q, err)
+			}
+			got, err := g.Select(q)
+			if err != nil {
+				t.Fatalf("k=%d %q: %v", k, q, err)
+			}
+			if renderResult(got) != renderResult(want) {
+				t.Errorf("k=%d Select diverges for %q:\n--- sharded ---\n%s\n--- local ---\n%s",
+					k, q, renderResult(got), renderResult(want))
+			}
+		}
+		for _, q := range asks {
+			want, err := local.Ask(q)
+			if err != nil {
+				t.Fatalf("local %q: %v", q, err)
+			}
+			got, err := g.Ask(q)
+			if err != nil {
+				t.Fatalf("k=%d %q: %v", k, q, err)
+			}
+			if got != want {
+				t.Errorf("k=%d Ask(%q) = %v, want %v", k, q, got, want)
+			}
+		}
+	}
+}
+
+func TestGroupPreparedOracle(t *testing.T) {
+	w := synth.Generate(synth.TinySpec())
+	rel, rel2 := entityRelations(t, w)
+	const seed = 11
+	local := endpoint.NewLocal(w.Yago, seed)
+	s, o := sampleFact(t, local, rel)
+
+	const (
+		tmplSample  = "SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n"
+		tmplObjects = "SELECT ?y WHERE { $x $r ?y }"
+		tmplPreds   = "SELECT ?p WHERE { $x ?p $y }"
+		tmplOverlap = `SELECT ?x ?y1 ?y2 WHERE {
+  ?x $a ?y1 .
+  ?x $b ?y2 .
+  FILTER NOT EXISTS { ?x $a ?y2 }
+} ORDER BY RAND() LIMIT $n`
+	)
+	type probe struct {
+		tmpl   string
+		params []string
+		args   []sparql.Arg
+	}
+	probes := []probe{
+		{tmplSample, []string{"r", "n"}, []sparql.Arg{sparql.IRIArg(rel), sparql.IntArg(5)}},
+		{tmplSample, []string{"r", "n"}, []sparql.Arg{sparql.IRIArg(rel), sparql.IntArg(0)}},
+		{tmplSample, []string{"r", "n"}, []sparql.Arg{sparql.IRIArg(rel2), sparql.IntArg(300)}},
+		{tmplObjects, []string{"x", "r"}, []sparql.Arg{sparql.IRIArg(s), sparql.IRIArg(rel)}},
+		{tmplPreds, []string{"x", "y"}, []sparql.Arg{sparql.IRIArg(s), sparql.IRIArg(o)}},
+		{tmplOverlap, []string{"a", "b", "n"}, []sparql.Arg{sparql.IRIArg(rel), sparql.IRIArg(rel2), sparql.IntArg(6)}},
+	}
+
+	for _, k := range oracleShardCounts {
+		g := Partitioned(w.Yago, k, seed)
+		for pi, pr := range probes {
+			lp, err := local.Prepare(pr.tmpl, pr.params...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp, err := g.Prepare(pr.tmpl, pr.params...)
+			if err != nil {
+				t.Fatalf("k=%d probe %d Prepare: %v", k, pi, err)
+			}
+			want, err := lp.Select(pr.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := gp.Select(pr.args...)
+			if err != nil {
+				t.Fatalf("k=%d probe %d Select: %v", k, pi, err)
+			}
+			if renderResult(got) != renderResult(want) {
+				t.Errorf("k=%d probe %d Select diverges:\n--- sharded ---\n%s\n--- local ---\n%s",
+					k, pi, renderResult(got), renderResult(want))
+			}
+
+			// Streaming must drain to the same bytes...
+			lr, err := lp.Stream(context.Background(), pr.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr, err := gp.Stream(context.Background(), pr.args...)
+			if err != nil {
+				t.Fatalf("k=%d probe %d Stream: %v", k, pi, err)
+			}
+			wantS, gotS := drainStream(t, lr), drainStream(t, gr)
+			if renderResult(gotS) != renderResult(wantS) {
+				t.Errorf("k=%d probe %d Stream diverges:\n--- sharded ---\n%s\n--- local ---\n%s",
+					k, pi, renderResult(gotS), renderResult(wantS))
+			}
+
+			// ...and an early-closed stream must yield a prefix of it.
+			gr2, err := gp.Stream(context.Background(), pr.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var prefix [][]string
+			for i := 0; i < 2 && gr2.Next(); i++ {
+				var row []string
+				for _, tm := range gr2.Row() {
+					row = append(row, tm.String())
+				}
+				prefix = append(prefix, row)
+			}
+			gr2.Close()
+			for i, row := range prefix {
+				for j, cell := range row {
+					if cell != wantS.Rows[i][j].String() {
+						t.Errorf("k=%d probe %d early-close prefix row %d differs", k, pi, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// One shard empty, one holding every match: the merge must behave
+// identically to the unsharded endpoint, and the empty shard must not
+// contribute (or block) anything.
+func TestGroupEmptyShardOracle(t *testing.T) {
+	const n = 2
+	// Pick subjects that all hash to shard 0 of a 2-way partition.
+	var subjects []string
+	for i := 0; len(subjects) < 6; i++ {
+		s := fmt.Sprintf("http://x/subject-%d", i)
+		if kb.SubjectShard(rdf.NewIRI(s), n) == 0 {
+			subjects = append(subjects, s)
+		}
+	}
+	build := func() *kb.KB {
+		k := kb.New("lopsided")
+		for i, s := range subjects {
+			k.AddIRIs(s, "http://x/p", fmt.Sprintf("http://x/o%d", i))
+			k.AddIRIs(s, "http://x/p", fmt.Sprintf("http://x/o%d", i+1))
+		}
+		return k
+	}
+	const seed = 3
+	local := endpoint.NewLocal(build(), seed)
+	g := Partitioned(build(), n, seed)
+	if sh := g.Shards()[1].(*endpoint.Local); sh.KB().Size() != 0 {
+		t.Fatalf("shard 1 should be empty, holds %d facts", sh.KB().Size())
+	}
+	queries := []string{
+		"SELECT ?x ?y WHERE { ?x <http://x/p> ?y }",
+		"SELECT ?x ?y WHERE { ?x <http://x/p> ?y } ORDER BY RAND() LIMIT 3",
+		"SELECT DISTINCT ?x WHERE { ?x <http://x/p> ?y } LIMIT 2",
+	}
+	for _, q := range queries {
+		want, err := local.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Select(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if renderResult(got) != renderResult(want) {
+			t.Errorf("empty-shard Select diverges for %q:\n%s\nvs\n%s", q, renderResult(got), renderResult(want))
+		}
+	}
+	ok, err := g.Ask("ASK { ?x <http://x/p> ?y }")
+	if err != nil || !ok {
+		t.Fatalf("Ask over lopsided shards = %v, %v", ok, err)
+	}
+}
+
+// Queries outside the federation contract are rejected, not answered
+// wrongly.
+func TestGroupRejectsNonDecomposable(t *testing.T) {
+	k := kb.New("nd")
+	k.AddIRIs("http://x/a", "http://x/p", "http://x/b")
+	g := Partitioned(k, 2, 1)
+	for _, q := range []string{
+		"SELECT ?x ?z WHERE { ?x <http://x/p> ?y . ?y <http://x/p> ?z }",
+		"SELECT ?x WHERE { ?x <http://x/p> ?y . FILTER (RAND() < 0.5) }",
+		"SELECT ?y WHERE { ?x <http://x/p> ?y } ORDER BY ?y",
+		"ASK { }",
+	} {
+		if _, err := g.Select(q); err == nil {
+			if _, err := g.Ask(q); err == nil {
+				t.Errorf("query %q was accepted", q)
+			}
+		} else if !errors.Is(err, ErrNotDecomposable) {
+			t.Errorf("query %q: error %v is not ErrNotDecomposable", q, err)
+		}
+		if _, err := g.Prepare(q); err == nil {
+			t.Errorf("Prepare(%q) was accepted", q)
+		}
+	}
+}

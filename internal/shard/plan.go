@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"fmt"
+
+	"sofya/internal/kb"
+	"sofya/internal/sparql"
+)
+
+// plan.go classifies queries into federation strategies and derives the
+// per-shard pushdown form. The classification rests on
+// sparql.AnalyzeShard: it is the same analysis for text queries and
+// prepared templates, with template parameters treated as concrete
+// terms bound per execution.
+
+// strategy is how one query executes across the shards.
+type strategy uint8
+
+const (
+	// stratRoute: all patterns share one concrete subject; the query
+	// goes verbatim to that subject's shard.
+	stratRoute strategy = iota
+	// stratMerge: unordered star query with the subject projected;
+	// shard streams k-way merge on ascending subject term, which equals
+	// whole-KB enumeration order.
+	stratMerge
+	// stratConcat: unordered decomposable query without a usable merge
+	// column; shard streams concatenate in shard order. The result is
+	// the exact whole-KB bag of rows, in a deterministic but
+	// shard-dependent order — which is why classify rejects this shape
+	// as soon as LIMIT or OFFSET would turn the order difference into a
+	// row-set difference.
+	stratConcat
+	// stratMergeOrdered: ORDER BY query; shards stream the stripped
+	// enumeration, the merge point re-derives keys and sorts.
+	stratMergeOrdered
+)
+
+// classify maps an analyzed query to a strategy, or an error when the
+// federation cannot answer it faithfully.
+func classify(q *sparql.Query, shape sparql.ShardShape) (strategy, error) {
+	if !shape.Decomposable {
+		return 0, fmt.Errorf("%w: triple patterns are not anchored on one common subject", ErrNotDecomposable)
+	}
+	if shape.SubjectParam != "" || !shape.Subject.IsZero() {
+		return stratRoute, nil
+	}
+	if shape.RandFilters {
+		return 0, fmt.Errorf("%w: RAND() inside FILTER depends on whole-KB enumeration", ErrNotDecomposable)
+	}
+	if q.Form == sparql.AskForm {
+		return stratConcat, nil // fan out; the ask path short-circuits
+	}
+	if len(q.OrderBy) > 0 {
+		if !shape.MergeOrdered {
+			return 0, fmt.Errorf("%w: ORDER BY needs whole-KB enumeration order, which this query's shard streams cannot reconstruct", ErrNotDecomposable)
+		}
+		if !shape.KeysMergeable {
+			return 0, fmt.Errorf("%w: ORDER BY keys cannot be re-derived at the merge point", ErrNotDecomposable)
+		}
+		return stratMergeOrdered, nil
+	}
+	if shape.MergeOrdered {
+		return stratMerge, nil
+	}
+	if q.Limit >= 0 || q.LimitVar != "" || q.Offset > 0 {
+		// Without a merge column the federation cannot reconstruct
+		// whole-KB enumeration order, and LIMIT/OFFSET select a prefix
+		// of exactly that order: a concatenation would return a
+		// shard-dependent row set, not just a reordered one.
+		return 0, fmt.Errorf("%w: LIMIT/OFFSET select a prefix of whole-KB enumeration order, which this query's shard streams cannot reconstruct", ErrNotDecomposable)
+	}
+	return stratConcat, nil
+}
+
+// pushdownQuery derives the per-shard form of a fanned-out query:
+// ordered queries lose ORDER BY / LIMIT / OFFSET (the merge point
+// reassembles them), unordered ones lose OFFSET and keep a LIMIT of
+// offset+limit when no DISTINCT intervenes (a shard can contribute at
+// most the first offset+limit rows of the merged prefix; DISTINCT
+// voids that bound because a shard cannot see cross-shard duplicates).
+func pushdownQuery(q *sparql.Query, strat strategy) *sparql.Query {
+	push := q.MapPatterns(func(tp sparql.TriplePattern) sparql.TriplePattern { return tp })
+	push.Offset = 0
+	if strat == stratMergeOrdered {
+		push.OrderBy = nil
+		push.Limit = -1
+		push.LimitVar = ""
+		return push
+	}
+	switch {
+	case q.Distinct:
+		push.Limit = -1
+		push.LimitVar = ""
+	case q.LimitVar != "":
+		// kept; the execution binds offset+limit into it
+	case q.Limit >= 0:
+		push.Limit = q.Offset + q.Limit
+	}
+	return push
+}
+
+// textPlan is the cached federation plan of one query text.
+type textPlan struct {
+	form       sparql.Form
+	strat      strategy
+	shape      sparql.ShardShape
+	vars       []string
+	distinct   bool
+	limit      int
+	offset     int
+	routeShard int    // valid for stratRoute
+	push       string // pushdown text for fan-out strategies
+	canonical  string // canonical original text (RAND stream derivation)
+}
+
+// orderedSpec bundles what the ordered merge needs from a text plan.
+func (pl *textPlan) orderedSpec(seed int64, maxRows int) orderedMergeSpec {
+	return orderedMergeSpec{
+		col:        pl.shape.SubjectCol,
+		keys:       pl.shape.Keys,
+		orderTotal: pl.shape.OrderTotal,
+		distinct:   pl.distinct,
+		limit:      pl.limit,
+		offset:     pl.offset,
+		maxRows:    maxRows,
+		seed:       seed,
+		text:       pl.canonical,
+	}
+}
+
+// maxCachedPlans bounds the text-plan cache; alignment traffic draws
+// from a handful of shapes, so the bound is rarely reached.
+const maxCachedPlans = 256
+
+// planFor parses and classifies a query text, caching the outcome.
+func (g *Group) planFor(query string) (*textPlan, error) {
+	g.mu.Lock()
+	if pl, ok := g.plans[query]; ok {
+		g.mu.Unlock()
+		return pl, nil
+	}
+	g.mu.Unlock()
+
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	shape := sparql.AnalyzeShard(q, nil)
+	strat, err := classify(q, shape)
+	if err != nil {
+		return nil, err
+	}
+	pl := &textPlan{
+		form:      q.Form,
+		strat:     strat,
+		shape:     shape,
+		vars:      q.Vars,
+		distinct:  q.Distinct,
+		limit:     q.Limit,
+		offset:    q.Offset,
+		canonical: q.String(),
+	}
+	if strat == stratRoute {
+		pl.routeShard = kb.SubjectShard(shape.Subject, len(g.shards))
+	} else if q.Form == sparql.SelectForm {
+		pl.push = pushdownQuery(q, strat).String()
+	}
+
+	g.mu.Lock()
+	if len(g.plans) >= maxCachedPlans {
+		g.plans = make(map[string]*textPlan, maxCachedPlans)
+	}
+	g.plans[query] = pl
+	g.mu.Unlock()
+	return pl, nil
+}
+
+// mergePuller selects the unordered merge for a plan over opened shard
+// sources.
+func (g *Group) mergePuller(pl *textPlan, sources []rowsSource) puller {
+	if pl.strat == stratMerge {
+		return newSubjectPuller(sources, pl.shape.SubjectCol)
+	}
+	return newConcatPuller(sources)
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/kb"
+	"sofya/internal/sparql"
+	"sofya/internal/synth"
+)
+
+// The restricted-group oracle: a row-capped Group must answer exactly
+// like a row-capped unsharded Local — one cap for the whole answer
+// (applied after ORDER BY, like the unsharded endpoint), not one per
+// shard.
+func TestGroupRowCapOracle(t *testing.T) {
+	w := synth.Generate(synth.TinySpec())
+	rel, _ := entityRelations(t, w)
+	const seed, cap = 9, 7
+	quota := endpoint.Quota{MaxRows: cap}
+	local := endpoint.NewLocalRestricted(w.Yago, seed, quota)
+	s, o := sampleFact(t, endpoint.NewLocal(w.Yago, seed), rel)
+
+	queries := []string{
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y }", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND()", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT 30", rel),
+		fmt.Sprintf("SELECT ?p ?v WHERE { <%s> ?p ?v }", s),
+		fmt.Sprintf("SELECT ?p WHERE { <%s> ?p <%s> }", s, o),
+	}
+	for _, k := range []int{2, 3} {
+		g := PartitionedRestricted(w.Yago, k, seed, quota)
+		for _, q := range queries {
+			want, err := local.Select(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.Select(q)
+			if err != nil {
+				t.Fatalf("k=%d %q: %v", k, q, err)
+			}
+			if renderResult(got) != renderResult(want) {
+				t.Errorf("k=%d capped Select diverges for %q:\n--- sharded ---\n%s\n--- local ---\n%s",
+					k, q, renderResult(got), renderResult(want))
+			}
+			if len(got.Rows) > cap {
+				t.Errorf("k=%d %q returned %d rows over the %d-row cap", k, q, len(got.Rows), cap)
+			}
+		}
+	}
+}
+
+// Routed streams respect the group row cap too.
+func TestGroupRowCapRoutedStream(t *testing.T) {
+	k := kb.New("capstream")
+	for i := 0; i < 20; i++ {
+		k.AddIRIs("http://x/s", "http://x/p", fmt.Sprintf("http://x/o%d", i))
+	}
+	g := PartitionedRestricted(k, 2, 1, endpoint.Quota{MaxRows: 4})
+	pq, err := g.Prepare("SELECT ?y WHERE { $x $r ?y }", "x", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Stream(context.Background(), sparql.IRIArg("http://x/s"), sparql.IRIArg("http://x/p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if n != 4 || !rows.Truncated() {
+		t.Fatalf("routed capped stream: %d rows, truncated=%v; want 4, true", n, rows.Truncated())
+	}
+	rows.Close()
+}
+
+// Cancelling the caller's context surfaces as the context error from
+// every fan-out path — never as a clean partial result, a nil-row
+// panic, or a definitive false ASK.
+func TestGroupContextCancellation(t *testing.T) {
+	k := kb.New("cancel")
+	for i := 0; i < 30; i++ {
+		k.AddIRIs(fmt.Sprintf("http://x/s%d", i), "http://x/p", "http://x/o")
+	}
+	g := Partitioned(k, 3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := g.SelectCtx(ctx, "SELECT ?x ?y WHERE { ?x <http://x/p> ?y }"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fan-out Select returned %v, want context.Canceled", err)
+	}
+	if _, err := g.AskCtx(ctx, "ASK { ?x <http://x/p> ?y }"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fan-out Ask returned %v, want context.Canceled", err)
+	}
+	pq, err := g.Prepare("SELECT ?x ?y WHERE { ?x $r ?y }", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Stream(ctx, sparql.IRIArg("http://x/p")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fan-out Stream returned %v, want context.Canceled", err)
+	}
+}
+
+// Hidden-subject unordered queries concatenate: the bag of rows is the
+// whole KB's, deterministically ordered by shard — and the moment a
+// LIMIT or OFFSET would turn that reordering into a different row set,
+// the query is rejected instead.
+func TestGroupConcatBagSemantics(t *testing.T) {
+	k := kb.New("concat")
+	for i := 0; i < 25; i++ {
+		k.AddIRIs(fmt.Sprintf("http://x/s%d", i), "http://x/p", fmt.Sprintf("http://x/o%d", i))
+	}
+	local := endpoint.NewLocal(k, 1)
+	g := Partitioned(k, 3, 1)
+
+	const q = "SELECT ?y WHERE { ?x <http://x/p> ?y }" // subject not projected
+	want, err := local.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag := func(res *sparql.Result) []string {
+		out := make([]string, len(res.Rows))
+		for i, row := range res.Rows {
+			out[i] = rowKey(row)
+		}
+		sort.Strings(out)
+		return out
+	}
+	wb, gb := bag(want), bag(got)
+	if len(wb) != len(gb) {
+		t.Fatalf("concat bag sizes differ: %d vs %d", len(gb), len(wb))
+	}
+	for i := range wb {
+		if wb[i] != gb[i] {
+			t.Fatalf("concat bags differ at %d: %q vs %q", i, gb[i], wb[i])
+		}
+	}
+
+	for _, rejected := range []string{
+		"SELECT ?y WHERE { ?x <http://x/p> ?y } LIMIT 5",
+		"SELECT ?y WHERE { ?x <http://x/p> ?y } OFFSET 2",
+	} {
+		if _, err := g.Select(rejected); !errors.Is(err, ErrNotDecomposable) {
+			t.Errorf("%q: err = %v, want ErrNotDecomposable", rejected, err)
+		}
+	}
+}

@@ -68,8 +68,10 @@ type Prepared struct {
 	mainBind []bool // slots bound by the main group's patterns
 	orderBy  []OrderKey
 	// orderKeys are the lowered ORDER BY expressions, one per orderBy
-	// entry, evaluated per surviving row.
+	// entry, evaluated per surviving row; orderDesc are their Desc
+	// flags, in the form CompareKeys consumes.
 	orderKeys []cexpr
+	orderDesc []bool
 	limit     int
 	offset    int
 
@@ -230,9 +232,11 @@ func (e *Engine) compile(q *Query, tmpl *Template, lift bool) (*Prepared, error)
 		}
 	}
 	p.orderKeys = make([]cexpr, len(q.OrderBy))
+	p.orderDesc = make([]bool, len(q.OrderBy))
 	p.orderTotal = len(q.OrderBy) > 0
 	for i, k := range q.OrderBy {
 		p.orderKeys[i] = c.lowerExpr(k.Expr)
+		p.orderDesc[i] = k.Desc
 		if !exprAlwaysNumeric(k.Expr) {
 			p.orderTotal = false
 		}

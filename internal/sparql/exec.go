@@ -253,34 +253,18 @@ func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) boo
 		distinct = newDistinctFilter(len(p.projSlot))
 	}
 
-	// keyLess is the reference comparator over the sort keys alone;
-	// incomparable or equal keys fall through to the next criterion.
+	// keyLess is the reference comparator over the sort keys alone
+	// (CompareKeys, shared with the federation merge); incomparable or
+	// equal keys fall through to the next criterion.
 	keyLess := func(a, b *orderedRow) bool {
-		for k := range p.orderBy {
-			c, ok := valuesOrder(a.keys[k], b.keys[k])
-			if !ok || c == 0 {
-				continue
-			}
-			if p.orderBy[k].Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return CompareKeys(a.keys, b.keys, p.orderDesc) < 0
 	}
 	// before adds the enumeration-index tiebreak, making the order
 	// total. It is only used on the bounded path, where orderTotal
 	// guarantees keyLess is a strict weak ordering, so sorting by
 	// `before` equals the stable sort by keyLess.
 	before := func(a, b *orderedRow) bool {
-		for k := range p.orderBy {
-			c, ok := valuesOrder(a.keys[k], b.keys[k])
-			if !ok || c == 0 {
-				continue
-			}
-			if p.orderBy[k].Desc {
-				return c > 0
-			}
+		if c := CompareKeys(a.keys, b.keys, p.orderDesc); c != 0 {
 			return c < 0
 		}
 		return a.idx < b.idx
@@ -318,14 +302,14 @@ func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) boo
 			}
 			rows[0].idx = cur.idx
 			snapshot(&rows[0])
-			siftDown(rows, 0, before)
+			HeapSiftDown(rows, 0, before)
 			return nil
 		}
 		kept := orderedRow{idx: cur.idx}
 		snapshot(&kept)
 		rows = append(rows, kept)
 		if bounded {
-			siftUp(rows, len(rows)-1, before)
+			HeapSiftUp(rows, len(rows)-1, before)
 		}
 		return nil
 	})
@@ -356,34 +340,39 @@ func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) boo
 	return nil
 }
 
-// siftUp/siftDown maintain rows as a max-heap under the final output
-// order: the root is the kept row that would be emitted last.
-func siftUp(rows []orderedRow, i int, before func(a, b *orderedRow) bool) {
+// HeapSiftUp and HeapSiftDown maintain s as a max-heap under `before`
+// (the root is the element that would be emitted last) — the bounded
+// top-k selection primitive of streamOrdered, exported because the
+// federation merge (internal/shard) performs the same selection over
+// merged rows and must stay byte-identical to the executor's.
+func HeapSiftUp[T any](s []T, i int, before func(a, b *T) bool) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !before(&rows[parent], &rows[i]) {
+		if !before(&s[parent], &s[i]) {
 			return
 		}
-		rows[parent], rows[i] = rows[i], rows[parent]
+		s[parent], s[i] = s[i], s[parent]
 		i = parent
 	}
 }
 
-func siftDown(rows []orderedRow, i int, before func(a, b *orderedRow) bool) {
-	n := len(rows)
+// HeapSiftDown restores the max-heap property downward from i; see
+// HeapSiftUp.
+func HeapSiftDown[T any](s []T, i int, before func(a, b *T) bool) {
+	n := len(s)
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && before(&rows[largest], &rows[l]) {
+		if l < n && before(&s[largest], &s[l]) {
 			largest = l
 		}
-		if r < n && before(&rows[largest], &rows[r]) {
+		if r < n && before(&s[largest], &s[r]) {
 			largest = r
 		}
 		if largest == i {
 			return
 		}
-		rows[i], rows[largest] = rows[largest], rows[i]
+		s[i], s[largest] = s[largest], s[i]
 		i = largest
 	}
 }
@@ -540,15 +529,23 @@ func (ex *execState) match(tp cpattern, found func() error) error {
 	}
 }
 
-// rng derives the execution's PRNG from the engine seed and the
-// canonical query text on first use, exactly like the reference
-// engine: queries that never call RAND() pay neither the text
+// randSource derives the deterministic PRNG of one query execution from
+// the engine seed and the canonical query text. It is the single
+// definition of the RAND() stream: the execution path (rng) and the
+// federation merge layer (RandFloats) both draw from it, which is what
+// keeps sharded RAND() results byte-identical to unsharded ones.
+func randSource(seed int64, text string) *rand.Rand {
+	h := fnv.New64a()
+	io.WriteString(h, text)
+	return rand.New(rand.NewSource(seed*1_000_003 ^ int64(h.Sum64())))
+}
+
+// rng derives the execution's PRNG on first use, exactly like the
+// reference engine: queries that never call RAND() pay neither the text
 // rendering nor the PRNG construction.
 func (ex *execState) rng() *rand.Rand {
 	if ex.rnd == nil {
-		h := fnv.New64a()
-		io.WriteString(h, ex.textFn())
-		ex.rnd = rand.New(rand.NewSource(ex.p.eng.seed*1_000_003 ^ int64(h.Sum64())))
+		ex.rnd = randSource(ex.p.eng.seed, ex.textFn())
 	}
 	return ex.rnd
 }

@@ -119,7 +119,7 @@ func (ex *execState) relSize(tp cpattern) int {
 	if id == kb.NoTerm {
 		return 0
 	}
-	return ex.k.NumFactsOf(id)
+	return ex.k.PlanFactsOf(id)
 }
 
 // greedyOrder replicates the reference evaluator's plan loop exactly,
@@ -177,26 +177,22 @@ func (ex *execState) estimate(tp cpattern, bound []bool) int {
 	if id == kb.NoTerm {
 		return 0 // matches nothing: run it first and finish immediately
 	}
-	f := ex.k.NumFactsOf(id)
+	// The Plan* accessors serve partition-wide overrides on shard KBs
+	// (kb.SetPlanStats) so a shard plans exactly like the whole KB; on
+	// ordinary KBs they are the plain counts. PlanObjectsOf keeps the
+	// frozen/mutable fallback (exact only when O(1)).
+	f := ex.k.PlanFactsOf(id)
 	switch {
 	case sB && oB:
 		return 1
 	case sB:
-		s := ex.k.NumSubjectsOf(id)
+		s := ex.k.PlanSubjectsOf(id)
 		if s == 0 {
 			return 0
 		}
 		return (f + s - 1) / s
 	case oB:
-		// The distinct-object count is O(1) only on a frozen KB; on a
-		// (thawed) mutable KB it would scan the whole relation per
-		// planner probe, so approximate with the subject count there —
-		// planning is heuristic, and determinism per KB state holds
-		// either way.
-		o := ex.k.NumSubjectsOf(id)
-		if ex.k.Frozen() {
-			o = ex.k.NumObjectsOf(id)
-		}
+		o := ex.k.PlanObjectsOf(id)
 		if o == 0 {
 			return 0
 		}

@@ -1,0 +1,275 @@
+package sparql
+
+import (
+	"math/rand"
+
+	"sofya/internal/rdf"
+)
+
+// shard.go exports the query-structure analysis and the comparability /
+// randomness hooks the federation layer (internal/shard) needs to merge
+// per-shard result streams back into the whole-KB result byte for byte.
+// Everything here is derived from the same definitions the engine
+// executes — valuesOrder for ORDER BY comparisons, the seed ⊕ canonical
+// text PRNG for RAND() — so the merge point reproduces engine semantics
+// exactly instead of approximating them.
+
+// ShardOrderKey describes one ORDER BY key to the merge layer.
+type ShardOrderKey struct {
+	// Rand marks a bare RAND() key: its value is not a function of the
+	// row but the next draw of the query's PRNG stream, taken in
+	// enumeration order — the merge layer re-draws it from RandFloats.
+	Rand bool
+	// Desc is the key's sort direction.
+	Desc bool
+	// Eval computes the key's Value from a projected row; nil when Rand
+	// is set or the key cannot be computed from the projection alone.
+	Eval func(row []rdf.Term) Value
+}
+
+// ShardShape is the static decomposability analysis of one query over a
+// subject-hash-partitioned KB federation (kb.Partition): whether the
+// whole-KB result is the union of per-shard results, how shard streams
+// interleave back into whole-KB enumeration order, and how ORDER BY
+// keys can be reproduced at the merge point.
+type ShardShape struct {
+	// Decomposable reports that every triple pattern — in the main
+	// group and in every [NOT] EXISTS subgroup — is anchored on one
+	// common subject: the same variable, the same template parameter,
+	// or the same concrete term. Then each result row is derived
+	// entirely from one subject's facts, which live in one shard, so
+	// the union of shard results is exactly the whole-KB result.
+	Decomposable bool
+	// SubjectVar is the common subject variable, "" otherwise.
+	SubjectVar string
+	// SubjectParam is the common subject template parameter (the query
+	// routes to one shard chosen per execution), "" otherwise.
+	SubjectParam string
+	// Subject is the common concrete subject term (the query routes to
+	// one statically-known shard); zero otherwise.
+	Subject rdf.Term
+	// SubjectCol is the projected column of SubjectVar, or -1.
+	SubjectCol int
+	// MergeOrdered reports that shard streams of the ORDER-stripped
+	// query interleave back into whole-KB enumeration order by merging
+	// on ascending SubjectCol term: every main pattern has the common
+	// subject variable, a concrete (or parameter) predicate and a
+	// variable object, so any join order the planner picks drives the
+	// enumeration through per-predicate fact postings that group rows
+	// by subject in term order — and subjects never span shards.
+	MergeOrdered bool
+	// OrderTotal mirrors the engine's static total-order guarantee: all
+	// ORDER BY keys are always-numeric, so bounded top-k selection with
+	// an enumeration tiebreak equals the reference stable sort.
+	OrderTotal bool
+	// RandFilters reports RAND() drawn outside ORDER BY keys (inside
+	// FILTER expressions); those draws interleave with rows the merge
+	// layer never sees, so the stream cannot be reproduced at the merge.
+	RandFilters bool
+	// Keys describes each ORDER BY key; KeysMergeable reports that all
+	// of them are reproducible at the merge point (bare RAND draws or
+	// row-computable expressions).
+	Keys          []ShardOrderKey
+	KeysMergeable bool
+}
+
+// AnalyzeShard classifies q for subject-partitioned federation. isParam
+// reports whether a variable name is a template parameter (bound to a
+// concrete term per execution); nil means no parameters.
+func AnalyzeShard(q *Query, isParam func(name string) bool) ShardShape {
+	if isParam == nil {
+		isParam = func(string) bool { return false }
+	}
+	sh := ShardShape{SubjectCol: -1}
+	if q.Where == nil || len(q.Where.Triples) == 0 {
+		// Rows of a patternless (or filter-only) query are not derived
+		// from any subject's facts; fanning such a query out would
+		// replicate its rows once per shard.
+		return sh
+	}
+
+	// Collect the subject of every pattern, main and EXISTS alike.
+	var vars, params []string
+	var terms []rdf.Term
+	seenVar := map[string]bool{}
+	seenTerm := map[rdf.Term]bool{}
+	var walkGroup func(g *GroupPattern)
+	walkGroup = func(g *GroupPattern) {
+		for _, tp := range g.Triples {
+			switch {
+			case tp.S.IsVar && isParam(tp.S.Var):
+				if !seenVar[tp.S.Var] {
+					seenVar[tp.S.Var] = true
+					params = append(params, tp.S.Var)
+				}
+			case tp.S.IsVar:
+				if !seenVar[tp.S.Var] {
+					seenVar[tp.S.Var] = true
+					vars = append(vars, tp.S.Var)
+				}
+			default:
+				if !seenTerm[tp.S.Term] {
+					seenTerm[tp.S.Term] = true
+					terms = append(terms, tp.S.Term)
+				}
+			}
+		}
+		for _, f := range g.Filters {
+			eachExists(f, func(ex exExists) { walkGroup(ex.group) })
+		}
+	}
+	walkGroup(q.Where)
+
+	switch {
+	case len(vars) == 1 && len(params) == 0 && len(terms) == 0:
+		sh.Decomposable, sh.SubjectVar = true, vars[0]
+	case len(vars) == 0 && len(params) == 1 && len(terms) == 0:
+		sh.Decomposable, sh.SubjectParam = true, params[0]
+	case len(vars) == 0 && len(params) == 0 && len(terms) == 1:
+		sh.Decomposable, sh.Subject = true, terms[0]
+	default:
+		return sh
+	}
+
+	if sh.SubjectVar != "" {
+		for i, v := range q.Vars {
+			if v == sh.SubjectVar {
+				sh.SubjectCol = i
+				break
+			}
+		}
+		sh.MergeOrdered = sh.SubjectCol >= 0
+		for _, tp := range q.Where.Triples {
+			// Predicates must resolve to concrete terms (so the driving
+			// pattern enumerates one predicate's postings, grouped by
+			// subject term) and objects must stay free (a bound object
+			// would promote its pattern to driver through object-keyed
+			// postings, whose insertion order does not interleave by
+			// subject across shards).
+			if tp.P.IsVar && !isParam(tp.P.Var) {
+				sh.MergeOrdered = false
+			}
+			if !tp.O.IsVar || isParam(tp.O.Var) {
+				sh.MergeOrdered = false
+			}
+		}
+	}
+
+	// RAND usage outside ORDER BY keys.
+	var walkFilters func(g *GroupPattern)
+	walkFilters = func(g *GroupPattern) {
+		for _, f := range g.Filters {
+			if exprUsesRand(f) {
+				sh.RandFilters = true
+			}
+			eachExists(f, func(ex exExists) { walkFilters(ex.group) })
+		}
+	}
+	walkFilters(q.Where)
+
+	// ORDER BY keys.
+	sh.Keys = make([]ShardOrderKey, len(q.OrderBy))
+	sh.KeysMergeable = true
+	sh.OrderTotal = len(q.OrderBy) > 0
+	for i, k := range q.OrderBy {
+		if !exprAlwaysNumeric(k.Expr) {
+			sh.OrderTotal = false
+		}
+		sh.Keys[i].Desc = k.Desc
+		if call, ok := k.Expr.(exCall); ok && call.name == "RAND" && len(call.args) == 0 {
+			sh.Keys[i].Rand = true
+			continue
+		}
+		if exprUsesRand(k.Expr) {
+			// RAND nested inside a larger key expression: the draw is
+			// reproducible but its combination is row-dependent in a way
+			// the engine evaluates with interleaved draws; unsupported.
+			sh.KeysMergeable = false
+			continue
+		}
+		ev, ok := compileRowKey(k.Expr, q.Vars)
+		if !ok {
+			sh.KeysMergeable = false
+			continue
+		}
+		sh.Keys[i].Eval = ev
+	}
+	return sh
+}
+
+// rowEnv evaluates an expression over one projected row.
+type rowEnv struct {
+	cols map[string]int
+	row  []rdf.Term
+}
+
+func (e *rowEnv) lookupVar(name string) (rdf.Term, bool) {
+	i, ok := e.cols[name]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	return e.row[i], true
+}
+
+func (e *rowEnv) rng() *rand.Rand                        { return nil } // unreachable: RAND keys never compile here
+func (e *rowEnv) evalExists(*GroupPattern) (bool, error) { return false, nil }
+
+// compileRowKey builds an evaluator for an ORDER BY key over the
+// projected row, when the key reads only projected variables and needs
+// neither the KB (EXISTS) nor the PRNG (RAND).
+func compileRowKey(e Expr, vars []string) (func(row []rdf.Term) Value, bool) {
+	hasExists := false
+	eachExists(e, func(exExists) { hasExists = true })
+	if hasExists || exprUsesRand(e) {
+		return nil, false
+	}
+	cols := make(map[string]int, len(vars))
+	for i, v := range vars {
+		cols[v] = i
+	}
+	for _, name := range exprVars(e) {
+		if _, ok := cols[name]; !ok {
+			return nil, false
+		}
+	}
+	return func(row []rdf.Term) Value {
+		return e.eval(&rowEnv{cols: cols, row: row})
+	}, true
+}
+
+// OrderValues exposes the engine's ORDER BY comparison: the ordering of
+// two key Values, and whether they are comparable at all. The merge
+// layer must compare shard keys with exactly this function to stay
+// byte-identical with the in-engine sort.
+func OrderValues(a, b Value) (int, bool) { return valuesOrder(a, b) }
+
+// CompareKeys is the engine's ORDER BY key-list comparison — the single
+// definition the executor (streamOrdered) and the federation merge both
+// sort with. It returns a negative value when key list a orders before
+// b under the per-key Desc flags, positive for after, and 0 when every
+// key pair is equal or incomparable (the caller's tiebreak decides).
+func CompareKeys(a, b []Value, desc []bool) int {
+	for k := range a {
+		c, ok := valuesOrder(a[k], b[k])
+		if !ok || c == 0 {
+			continue
+		}
+		if desc[k] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// NumValue wraps a float as the numeric Value RAND() keys produce.
+func NumValue(f float64) Value { return numValue(f) }
+
+// RandFloats returns the RAND() draw stream an engine with the given
+// seed derives for the canonical text of a query — the same stream, in
+// the same order, that the engine pairs with rows as it enumerates
+// them. The merge layer uses it to re-assign RAND keys to merged rows
+// in reconstructed enumeration order.
+func RandFloats(seed int64, canonicalText string) func() float64 {
+	return randSource(seed, canonicalText).Float64
+}

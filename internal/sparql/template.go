@@ -33,6 +33,14 @@ func (a Arg) Key() string {
 	return a.term.String()
 }
 
+// Term returns the bound term of a pattern argument; ok is false for
+// integer (LIMIT) arguments.
+func (a Arg) Term() (rdf.Term, bool) { return a.term, !a.isInt }
+
+// Int returns the bound integer of a LIMIT argument; ok is false for
+// term arguments.
+func (a Arg) Int() (int, bool) { return a.n, a.isInt }
+
 // Template is a parsed, parameterized query: a query AST in which the
 // variables named by params stand for constants supplied at execution
 // time. Pattern parameters are written `$name` in term positions and
@@ -217,11 +225,62 @@ func MustParseTemplate(text string, params ...string) *Template {
 // Params returns the declared parameter names in positional order.
 func (t *Template) Params() []string { return t.params }
 
+// IntParam reports whether parameter i is an integer (LIMIT) parameter.
+func (t *Template) IntParam(i int) bool { return t.isInt[i] }
+
 // Source returns the template text ParseTemplate was given.
 func (t *Template) Source() string { return t.source }
 
 // Form returns the query form of the template.
 func (t *Template) Form() Form { return t.q.Form }
+
+// Query returns a deep copy of the template's parsed query. Parameters
+// appear as ordinary variables (the parser does not distinguish $name
+// from ?name); use Params to tell them apart. The copy may be modified
+// freely and turned back into a template with TemplateFromQuery — the
+// federation layer derives per-shard pushdown templates this way.
+func (t *Template) Query() *Query {
+	return t.q.MapPatterns(func(tp TriplePattern) TriplePattern { return tp })
+}
+
+// TemplateFromQuery renders q — whose params-named variables stand for
+// template parameters — back into canonical template text and parses it
+// as a Template. Parameters that no longer occur in q (for instance a
+// LIMIT parameter on a query whose LIMIT was stripped) must be omitted
+// from params.
+func TemplateFromQuery(q *Query, params ...string) (*Template, error) {
+	idx := make(map[string]int, len(params))
+	for i, name := range params {
+		idx[name] = i
+	}
+	mark := func(i int) string { return "\x00#" + strconv.Itoa(i) + "\x00" }
+	marked := q.MapPatterns(func(tp TriplePattern) TriplePattern {
+		sub := func(pt PatternTerm) PatternTerm {
+			if pt.IsVar {
+				if i, ok := idx[pt.Var]; ok {
+					return Concrete(rdf.NewIRI(mark(i)))
+				}
+			}
+			return pt
+		}
+		return TriplePattern{S: sub(tp.S), P: sub(tp.P), O: sub(tp.O)}
+	})
+	if q.LimitVar != "" {
+		i, ok := idx[q.LimitVar]
+		if !ok {
+			return nil, fmt.Errorf("sparql: LIMIT $%s is not a declared parameter", q.LimitVar)
+		}
+		marked.LimitVar = mark(i)
+	}
+	text := marked.String()
+	for i, name := range params {
+		// Pattern sites render the sentinel as an IRI; the LIMIT site
+		// renders it after the "$" the serializer emits for LimitVar.
+		text = strings.ReplaceAll(text, "<"+mark(i)+">", "$"+name)
+		text = strings.ReplaceAll(text, mark(i), name)
+	}
+	return ParseTemplate(text, params...)
+}
 
 // checkArgs validates positional args against the declared parameters.
 func (t *Template) checkArgs(args []Arg) error {

@@ -82,6 +82,7 @@ import (
 	"sofya/internal/rewrite"
 	"sofya/internal/sameas"
 	"sofya/internal/sampling"
+	"sofya/internal/shard"
 	"sofya/internal/sparql"
 	"sofya/internal/strsim"
 	"sofya/internal/synth"
@@ -183,6 +184,30 @@ func NewRestrictedEndpoint(k *KB, seed int64, q Quota) *LocalEndpoint {
 
 // NewSPARQLServer wraps a local endpoint for HTTP serving.
 func NewSPARQLServer(local *LocalEndpoint) *SPARQLServer { return endpoint.NewServer(local) }
+
+// ShardedEndpoint federates a subject-hash-partitioned KB behind one
+// endpoint: k Local shards answer every query class the aligner issues
+// byte-identically to an unsharded endpoint (routing for single-subject
+// probes, subject-ordered k-way stream merging for star queries, ORDER
+// BY RAND() reassembly for sampling probes). See internal/shard.
+type ShardedEndpoint = shard.Group
+
+// NewShardedEndpoint partitions k into n subject-hash shards
+// (kb.Partition) served by Local endpoints with the given RAND() seed,
+// federated behind a merging group — the drop-in scale-out replacement
+// for NewLocalEndpoint.
+func NewShardedEndpoint(k *KB, n int, seed int64) *ShardedEndpoint {
+	return shard.Partitioned(k, n, seed)
+}
+
+// NewShardedEndpointRestricted is NewShardedEndpoint under an access
+// quota: the row cap is enforced once on the merged answer (matching
+// the unsharded endpoint's contract), while the query budget and
+// latency apply per shard — a fanned-out probe consumes one query on
+// every shard.
+func NewShardedEndpointRestricted(k *KB, n int, seed int64, q Quota) *ShardedEndpoint {
+	return shard.PartitionedRestricted(k, n, seed, q)
+}
 
 // NewSPARQLClient builds an Endpoint speaking the SPARQL HTTP protocol.
 func NewSPARQLClient(name, baseURL string) *SPARQLClient {

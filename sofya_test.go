@@ -196,3 +196,34 @@ func TestFacadeAlignerCache(t *testing.T) {
 		t.Fatal("cached result lost alignments")
 	}
 }
+
+// A sharded endpoint is a drop-in replacement behind the facade: the
+// aligner produces the same accepted rules over a federated KB.
+func TestFacadeShardedEndpoint(t *testing.T) {
+	world := Generate(TinyWorldSpec())
+	links := LinkView{Links: world.Links, KIsA: true}
+	const r = "http://yago-knowledge.org/resource/wasBornIn"
+
+	base := NewAligner(NewLocalEndpoint(world.Yago, 1), NewLocalEndpoint(world.Dbp, 2), links, UBSConfig())
+	want, err := base.AlignRelation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := NewShardedEndpoint(world.Yago, 3, 1)
+	kp := NewShardedEndpoint(world.Dbp, 3, 2)
+	if k.Name() != world.Yago.Name() {
+		t.Fatalf("sharded endpoint name = %q", k.Name())
+	}
+	sharded := NewAligner(k, kp, links, UBSConfig())
+	got, err := sharded.AlignRelation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded alignments diverge:\ngot  %+v\nwant %+v", got, want)
+	}
+	if k.Stats().Queries == 0 {
+		t.Fatal("sharded endpoint reported no queries")
+	}
+}
