@@ -4,6 +4,15 @@
 //
 //	experiments -spec paper -e all
 //	experiments -spec tiny -e table1,e4 -md
+//
+// With -world, the evaluation world is loaded from a directory written
+// by cmd/kbgen instead of being regenerated; when the directory holds
+// binary snapshots (kbgen -snapshot) the KBs are memory-mapped in
+// milliseconds, and the experiment output is byte-identical to a
+// generated run of the same spec:
+//
+//	kbgen -spec paper -out ./world -snapshot
+//	experiments -world ./world -e table1
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 func main() {
 	var (
 		specName   = flag.String("spec", "paper", "world size: tiny | paper")
+		worldDir   = flag.String("world", "", "load the world from this kbgen output directory (snapshots used when present) instead of generating it")
 		which      = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7")
 		markdown   = flag.Bool("md", false, "emit markdown tables")
 		parallel   = flag.Int("parallel", 0, "aligner worker bound per run (0 = GOMAXPROCS; results are identical at any setting)")
@@ -51,12 +61,21 @@ func main() {
 		}()
 	}
 
-	spec := synth.DefaultSpec()
-	if *specName == "tiny" {
-		spec = synth.TinySpec()
-	}
 	start := time.Now()
-	world := synth.Generate(spec)
+	var world *synth.World
+	if *worldDir != "" {
+		var err error
+		world, err = synth.LoadWorld(*worldDir)
+		check(err)
+		fmt.Fprintf(os.Stderr, "# world loaded from %s in %s (yago mmap=%v, dbpedia mmap=%v)\n",
+			*worldDir, time.Since(start).Round(time.Millisecond), world.Yago.Mapped(), world.Dbp.Mapped())
+	} else {
+		spec := synth.DefaultSpec()
+		if *specName == "tiny" {
+			spec = synth.TinySpec()
+		}
+		world = synth.Generate(spec)
+	}
 	setup := experiments.NewSetup(world)
 	setup.Parallelism = *parallel
 	setup.Shards = *shards

@@ -1,17 +1,29 @@
 // Command kbgen generates the synthetic YAGO/DBpedia evaluation world
-// and writes it to disk: two N-Triples snapshots, the sameAs link file
-// consumed by cmd/sofya, and the gold-standard alignment pairs.
+// and writes it to disk: two N-Triples files, the sameAs link file
+// consumed by cmd/sofya, the gold-standard alignment pairs, and the
+// relation/report sidecars cmd/experiments needs to reload the world.
 //
 //	kbgen -spec paper -out ./world
+//
+// With -snapshot, each KB (and each shard, with -shards) is also
+// written as a binary snapshot (*.snap) that kb.OpenSnapshot serves by
+// memory-mapping — cmd/sparqld, cmd/sofya and cmd/experiments restart
+// from snapshots without re-parsing or re-indexing:
+//
+//	kbgen -spec paper -out ./world -snapshot -shards 3
+//	sparqld -snapshot './world/yago-shard-*-of-3.snap'
+//	experiments -world ./world -e table1
+//
+// Shard N-Triples files need the <name>-planstats.tsv sidecar to plan
+// like the whole KB (kb.ReadPlanStatsFile + KB.SetPlanStats); shard
+// snapshots embed those statistics and are self-contained.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
-	"sofya/internal/kb"
 	"sofya/internal/synth"
 )
 
@@ -21,6 +33,7 @@ func main() {
 		out      = flag.String("out", ".", "output directory")
 		seed     = flag.Int64("seed", 0, "override the spec's seed (0 keeps default)")
 		shards   = flag.Int("shards", 1, "additionally write each KB partitioned into this many subject-hash shard files (kb-shard-i-of-n.nt)")
+		snapshot = flag.Bool("snapshot", false, "also write binary KB snapshots (*.snap) loadable by mmap, including per-shard snapshots with -shards")
 	)
 	flag.Parse()
 
@@ -33,98 +46,12 @@ func main() {
 	}
 	w := synth.Generate(spec)
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
-	}
-	if err := w.Yago.WriteFile(filepath.Join(*out, "yago.nt")); err != nil {
-		fatal(err)
-	}
-	if err := w.Dbp.WriteFile(filepath.Join(*out, "dbpedia.nt")); err != nil {
-		fatal(err)
-	}
-	if err := writeLinks(w, filepath.Join(*out, "links.tsv")); err != nil {
-		fatal(err)
-	}
-	if err := writeTruth(w, filepath.Join(*out, "truth.tsv")); err != nil {
-		fatal(err)
-	}
-	if *shards > 1 {
-		// The N-Triples partitioner: per-shard snapshot files that load
-		// directly into the Local endpoints of a federation group.
-		if err := writeShards(w.Yago, "yago", *out, *shards); err != nil {
-			fatal(err)
-		}
-		if err := writeShards(w.Dbp, "dbpedia", *out, *shards); err != nil {
-			fatal(err)
-		}
+	if err := synth.SaveWorld(w, *out, synth.SaveOptions{Snapshots: *snapshot, Shards: *shards}); err != nil {
+		fmt.Fprintln(os.Stderr, "kbgen:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: yago %d facts / %d relations, dbpedia %d facts / %d relations, %d links, %d gold pairs\n",
 		*out, w.Report.YagoFacts, len(w.Report.YagoRelations),
 		w.Report.DbpFacts, len(w.Report.DbpRelations),
 		w.Report.SameAsLinks, len(w.Truth.DbpToYago)+len(w.Truth.YagoToDbp))
-}
-
-// writeShards partitions base by subject hash and writes one N-Triples
-// file per shard, plus the whole-KB planner-statistics sidecar
-// (<name>-planstats.tsv). The partition is deterministic
-// (kb.SubjectShard of the canonical subject term), so re-running — or
-// partitioning on another machine — reproduces identical shard files.
-// To rebuild a byte-identical federation group from the files, load
-// each shard and install the sidecar with kb.ReadPlanStatsFile +
-// KB.SetPlanStats before serving — shard triples alone plan with local
-// cardinalities and can diverge from the unsharded engine.
-func writeShards(base *kb.KB, name, out string, n int) error {
-	for i, sh := range kb.Partition(base, n) {
-		path := filepath.Join(out, fmt.Sprintf("%s-shard-%d-of-%d.nt", name, i, n))
-		if err := sh.WriteFile(path); err != nil {
-			return err
-		}
-	}
-	return base.WritePlanStatsFile(filepath.Join(out, name+"-planstats.tsv"))
-}
-
-func writeLinks(w *synth.World, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	for _, p := range w.Links.Pairs() {
-		if _, err := fmt.Fprintf(f, "%s\t%s\n", p.A, p.B); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeTruth(w *synth.World, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	for _, p := range w.Truth.DbpToYago {
-		kind := "subsumed"
-		if p.Equivalent {
-			kind = "equivalent"
-		}
-		if _, err := fmt.Fprintf(f, "d2y\t%s\t%s\t%s\n", p.Body, p.Head, kind); err != nil {
-			return err
-		}
-	}
-	for _, p := range w.Truth.YagoToDbp {
-		kind := "subsumed"
-		if p.Equivalent {
-			kind = "equivalent"
-		}
-		if _, err := fmt.Fprintf(f, "y2d\t%s\t%s\t%s\n", p.Body, p.Head, kind); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "kbgen:", err)
-	os.Exit(1)
 }

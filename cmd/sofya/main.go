@@ -5,10 +5,17 @@
 //
 //	sofya -synthetic tiny -relation http://yago-knowledge.org/resource/wasBornIn
 //
-// or load N-Triples snapshots plus a sameAs link file (two IRIs per
-// line, tab-separated, head-KB entity first):
+// or load two KB files plus a sameAs link file (two IRIs per line,
+// tab-separated, head-KB entity first). A KB file is either N-Triples
+// or a binary snapshot written by cmd/kbgen -snapshot / KB.WriteSnapshot
+// (*.snap) — snapshots are memory-mapped and skip parsing entirely, so
+// repeated runs start in milliseconds:
 //
 //	sofya -k yago.nt -kprime dbpedia.nt -links links.tsv -relation <iri>
+//	sofya -k yago.snap -kprime dbpedia.snap -links links.tsv -all
+//
+// (N-Triples KBs are labeled "K" / "Kprime" in rule output; a snapshot
+// keeps the KB name it was written with, e.g. "yago".)
 //
 // With -all, every relation of the head KB is aligned. With -batch,
 // the requested relations align concurrently (bounded by -parallel)
@@ -185,11 +192,11 @@ func loadKBs(synthetic, direction, kPath, kpPath, linkPath string) (*kb.KB, *kb.
 	if kPath == "" || kpPath == "" || linkPath == "" {
 		return nil, nil, nil, fmt.Errorf("need -k, -kprime and -links (or -synthetic)")
 	}
-	k, err := kb.LoadFile("K", kPath)
+	k, err := loadKB("K", kPath)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	kp, err := kb.LoadFile("Kprime", kpPath)
+	kp, err := loadKB("Kprime", kpPath)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -198,6 +205,24 @@ func loadKBs(synthetic, direction, kPath, kpPath, linkPath string) (*kb.KB, *kb.
 		return nil, nil, nil, err
 	}
 	return k, kp, sampling.LinkView{Links: links, KIsA: true}, nil
+}
+
+// loadKB reads a KB file: *.snap files are memory-mapped binary
+// snapshots (kb.OpenSnapshot, no parsing), anything else is N-Triples.
+// A per-shard snapshot is refused — it holds a fraction of the KB (but
+// whole-KB planner stats) and would align confidently wrong.
+func loadKB(name, path string) (*kb.KB, error) {
+	if strings.HasSuffix(path, ".snap") {
+		k, err := kb.OpenSnapshot(path)
+		if err != nil {
+			return nil, err
+		}
+		if _, n, ok := shard.PartitionIndex(k.Name()); ok && n > 1 {
+			return nil, fmt.Errorf("%s holds shard %q of a %d-shard set, not a whole KB", path, k.Name(), n)
+		}
+		return k, nil
+	}
+	return kb.LoadFile(name, path)
 }
 
 func loadLinks(path string) (*sameas.Links, error) {

@@ -5,6 +5,14 @@
 //	sparqld -kb yago.nt -addr :8890 -max-rows 10000
 //	sparqld -synthetic tiny -side dbp -addr :8890
 //
+// Restarts are fastest from binary snapshots (cmd/kbgen -snapshot):
+// a whole-KB snapshot is memory-mapped and served with zero parse or
+// re-index cost, and a set of per-shard snapshots stands a federated
+// endpoint group back up in milliseconds:
+//
+//	sparqld -snapshot world/yago.snap
+//	sparqld -snapshot 'world/yago-shard-*-of-3.snap'
+//
 // Query it with curl:
 //
 //	curl --data-urlencode 'query=SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5' http://localhost:8890/
@@ -16,6 +24,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"sofya/internal/endpoint"
 	"sofya/internal/kb"
@@ -26,6 +36,7 @@ import (
 func main() {
 	var (
 		kbPath     = flag.String("kb", "", "N-Triples file to serve")
+		snapshot   = flag.String("snapshot", "", "binary snapshot(s) to serve: a path, comma list or glob; a complete kbgen shard set is served as a federation group")
 		synthetic  = flag.String("synthetic", "", "serve a synthetic world instead: tiny | paper")
 		side       = flag.String("side", "yago", "synthetic side: yago | dbp")
 		addr       = flag.String("addr", ":8890", "listen address")
@@ -36,11 +47,42 @@ func main() {
 	)
 	flag.Parse()
 
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "sparqld:", err)
+		os.Exit(1)
+	}
+	quota := endpoint.Quota{MaxQueries: *maxQueries, MaxRows: *maxRows}
+
 	var (
 		base *kb.KB
 		err  error
 	)
 	switch {
+	case *snapshot != "":
+		paths := snapshotPaths(*snapshot)
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("-snapshot %q matches no files", *snapshot))
+		}
+		if len(paths) > 1 {
+			// A shard set restarts as a federation group; each snapshot
+			// embeds the whole KB's planner statistics, so the group is
+			// byte-identical to the endpoint that wrote the shards.
+			g, err := shard.GroupFromSnapshotsRestricted(*seed, quota, paths)
+			if err != nil {
+				fatal(err)
+			}
+			log.Printf("sparqld: serving %q from %d mapped shard snapshot(s) on %s", g.Name(), len(paths), *addr)
+			log.Fatal(http.ListenAndServe(*addr, endpoint.NewServerEndpoint(g)))
+			return
+		}
+		if base, err = kb.OpenSnapshot(paths[0]); err != nil {
+			fatal(err)
+		}
+		// A lone shard file must not masquerade as the whole KB (e.g. a
+		// glob that matched only one shard of a partially copied set).
+		if _, n, ok := shard.PartitionIndex(base.Name()); ok && n > 1 {
+			fatal(fmt.Errorf("%s holds shard %q of a %d-shard set; pass the complete set", paths[0], base.Name(), n))
+		}
 	case *synthetic != "":
 		spec := synth.TinySpec()
 		if *synthetic == "paper" {
@@ -52,24 +94,39 @@ func main() {
 			base = w.Dbp
 		}
 	case *kbPath != "":
-		base, err = kb.LoadFile("kb", *kbPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sparqld:", err)
-			os.Exit(1)
+		if base, err = kb.LoadFile("kb", *kbPath); err != nil {
+			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "sparqld: need -kb <file> or -synthetic tiny|paper")
+		fmt.Fprintln(os.Stderr, "sparqld: need -kb <file>, -snapshot <file(s)> or -synthetic tiny|paper")
 		os.Exit(2)
 	}
 
-	quota := endpoint.Quota{MaxQueries: *maxQueries, MaxRows: *maxRows}
 	var serve endpoint.Endpoint
 	if *shards > 1 {
 		serve = shard.PartitionedRestricted(base, *shards, *seed, quota)
 	} else {
 		serve = endpoint.NewLocalRestricted(base, *seed, quota)
 	}
-	log.Printf("sparqld: serving %q (%d facts, %d relations, %d shard(s)) on %s",
-		base.Name(), base.Size(), len(base.Relations()), *shards, *addr)
+	log.Printf("sparqld: serving %q (%d facts, %d relations, %d shard(s), mmap=%v) on %s",
+		base.Name(), base.Size(), len(base.Relations()), *shards, base.Mapped(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, endpoint.NewServerEndpoint(serve)))
+}
+
+// snapshotPaths expands a -snapshot argument: comma-separated parts,
+// each a literal path or a glob pattern.
+func snapshotPaths(arg string) []string {
+	var paths []string
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if matches, err := filepath.Glob(part); err == nil && len(matches) > 0 {
+			paths = append(paths, matches...)
+			continue
+		}
+		paths = append(paths, part)
+	}
+	return paths
 }

@@ -4,6 +4,14 @@
 // the DBpedia endpoint, with entity constants translated through the
 // sameAs links. The example verifies that the rewritten query returns
 // answers that translate back to the original query's answers.
+//
+// In production the endpoints would not be rebuilt from scratch per
+// process: a KB persisted with WriteSnapshotFile (or cmd/kbgen
+// -snapshot) reopens by mmap in milliseconds via
+// sofya.OpenKBSnapshot(path), and a subject-hash shard set reloads
+// behind one federating endpoint via
+// sofya.NewShardedEndpointFromSnapshots(seed, paths...) — both answer
+// byte-identically to the endpoints built here.
 package main
 
 import (

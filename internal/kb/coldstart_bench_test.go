@@ -1,0 +1,90 @@
+// Cold-start benchmarks, in an external test package so they can
+// generate the paper-scale world (synth imports kb). These are the
+// EXPERIMENTS.md "restart" numbers: how long until a serving-ready KB
+// exists, starting from a file — N-Triples parse + freeze vs snapshot.
+package kb_test
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sofya/internal/kb"
+	"sofya/internal/synth"
+)
+
+var paperWorld = sync.OnceValue(func() *synth.World {
+	return synth.Generate(synth.DefaultSpec())
+})
+
+// benchFiles writes the paper-world YAGO KB as both N-Triples and a
+// snapshot, returning the paths plus a probe IRI.
+func benchFiles(b *testing.B) (ntPath, snapPath, probeIRI string) {
+	b.Helper()
+	w := paperWorld()
+	dir := b.TempDir()
+	ntPath = filepath.Join(dir, "yago.nt")
+	snapPath = filepath.Join(dir, "yago.snap")
+	if err := w.Yago.WriteFile(ntPath); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Yago.WriteSnapshotFile(snapPath); err != nil {
+		b.Fatal(err)
+	}
+	return ntPath, snapPath, w.Report.YagoRelations[0]
+}
+
+// BenchmarkColdStartParse is the old restart path: parse N-Triples,
+// freeze, answer a first lookup.
+func BenchmarkColdStartParse(b *testing.B) {
+	ntPath, _, probe := benchFiles(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := kb.LoadFile("yago", ntPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Freeze()
+		if k.LookupIRI(probe) == kb.NoTerm {
+			b.Fatal("probe relation missing")
+		}
+	}
+}
+
+// BenchmarkColdStartSnapshot is the new restart path: mmap the
+// snapshot (checksum verify included), answer the same first lookup
+// (which pays the lazy dictionary build).
+func BenchmarkColdStartSnapshot(b *testing.B) {
+	_, snapPath, probe := benchFiles(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := kb.OpenSnapshot(snapPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if k.LookupIRI(probe) == kb.NoTerm {
+			b.Fatal("probe relation missing")
+		}
+		k.Close()
+	}
+}
+
+// BenchmarkColdStartSnapshotMapOnly isolates the serving-ready point
+// before any term lookup: open + verify + frozen arrays usable.
+func BenchmarkColdStartSnapshotMapOnly(b *testing.B) {
+	_, snapPath, _ := benchFiles(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := kb.OpenSnapshot(snapPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(k.Relations()) == 0 {
+			b.Fatal("no relations")
+		}
+		k.Close()
+	}
+}

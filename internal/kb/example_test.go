@@ -1,0 +1,37 @@
+package kb_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+)
+
+// A snapshot round trip: serialize a frozen KB to its binary snapshot
+// form and decode it back, preserving contents, iteration orders and
+// statistics exactly. (OpenSnapshot is the file-backed twin that
+// serves the arrays by memory-mapping instead of decoding.)
+func ExampleKB_WriteSnapshot() {
+	k := kb.New("people")
+	k.AddIRIs("http://x/Ada", "http://x/bornIn", "http://x/London")
+	k.Add(rdf.NewTriple(rdf.NewIRI("http://x/Ada"), rdf.NewIRI("http://x/label"), rdf.NewLiteral("Ada Lovelace")))
+
+	var buf bytes.Buffer
+	if err := k.WriteSnapshot(&buf); err != nil {
+		log.Fatal(err)
+	}
+	got, err := kb.ReadSnapshot(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d triples, %d terms\n", got.Name(), got.Size(), got.NumTerms())
+	for _, t := range got.Triples() {
+		fmt.Println(t)
+	}
+	// Output:
+	// people: 2 triples, 5 terms
+	// <http://x/Ada> <http://x/bornIn> <http://x/London> .
+	// <http://x/Ada> <http://x/label> "Ada Lovelace" .
+}

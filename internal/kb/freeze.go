@@ -148,8 +148,17 @@ func (k *KB) Freeze() {
 	k.fr = fr
 }
 
-// thaw drops the compacted indexes; called by every mutation.
-func (k *KB) thaw() { k.fr = nil }
+// thaw drops the compacted indexes; called by every mutation. A
+// snapshot-loaded KB has no mutable indexes yet (and its terms may
+// alias a memory-mapped file), so it is first copied wholesale to the
+// heap (heapify, snapshot.go; the mapping itself stays valid for
+// escaped Terms until an explicit Close).
+func (k *KB) thaw() {
+	if k.fr != nil && k.spo == nil {
+		k.heapify()
+	}
+	k.fr = nil
+}
 
 // findEntry binary-searches the key entries keys[lo:hi] (sorted by term
 // rank) for key, returning the entry index or -1.

@@ -15,6 +15,7 @@ package kb
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sofya/internal/rdf"
 )
@@ -33,16 +34,27 @@ type Fact struct {
 }
 
 // KB is an in-memory, indexed collection of triples. The zero value is
-// not usable; call New.
+// not usable; call New, Load, or OpenSnapshot.
 //
 // A KB has a two-phase lifecycle: it is mutable while loading, and
 // Freeze compacts its indexes into flat CSR postings for the serving
 // phase (see freeze.go). All read methods work in either phase with
 // identical results; mutations transparently thaw a frozen KB.
+//
+// A frozen KB persists: WriteSnapshot serializes the dictionary and the
+// CSR arrays to a checksummed binary snapshot, and OpenSnapshot serves
+// one back by memory-mapping it — restart without re-parsing or
+// re-indexing (see snapshot.go and ARCHITECTURE.md). Mutating a
+// snapshot-backed KB copies everything to the heap first, so the
+// lifecycle contract is unchanged.
 type KB struct {
 	name  string
 	dict  map[rdf.Term]TermID
 	terms []rdf.Term
+
+	// dictOnce guards the lazy dictionary build of snapshot-loaded KBs
+	// (ensureDict); concurrent readers may race to the first Lookup.
+	dictOnce sync.Once
 
 	spo map[TermID]map[TermID][]TermID
 	pos map[TermID]map[TermID][]TermID
@@ -50,6 +62,10 @@ type KB struct {
 
 	// fr is the compacted read index; nil while mutable.
 	fr *frozen
+
+	// snap pins the memory-mapped snapshot a KB from OpenSnapshot
+	// serves from; nil for heap-backed KBs.
+	snap *snapMapping
 
 	// planStats overrides the statistics the query planner reads; nil
 	// means the KB's own counts. Installed by SetPlanStats on partition
@@ -91,8 +107,26 @@ func canonTerm(t rdf.Term) rdf.Term {
 	return t
 }
 
+// ensureDict materializes the term dictionary. KBs built by New carry
+// it from the start; snapshot-loaded KBs defer it to the first
+// Lookup/Intern so OpenSnapshot stays O(checksum), not O(map build).
+// The sync.Once makes the lazy build safe under concurrent readers.
+func (k *KB) ensureDict() {
+	k.dictOnce.Do(func() {
+		if k.dict != nil {
+			return
+		}
+		dict := make(map[rdf.Term]TermID, len(k.terms))
+		for i, t := range k.terms {
+			dict[t] = TermID(i)
+		}
+		k.dict = dict
+	})
+}
+
 // Intern returns the ID for t, assigning a new one if t is unseen.
 func (k *KB) Intern(t rdf.Term) TermID {
+	k.ensureDict()
 	t = canonTerm(t)
 	if id, ok := k.dict[t]; ok {
 		return id
@@ -105,6 +139,7 @@ func (k *KB) Intern(t rdf.Term) TermID {
 
 // Lookup returns the ID for t, or NoTerm if t was never interned.
 func (k *KB) Lookup(t rdf.Term) TermID {
+	k.ensureDict()
 	if id, ok := k.dict[canonTerm(t)]; ok {
 		return id
 	}
@@ -367,6 +402,26 @@ func (k *KB) NumObjectsOf(p TermID) int {
 // then predicate term, then object insertion order. Intended for
 // serialization and tests, not hot paths.
 func (k *KB) Triples() []rdf.Triple {
+	if fr := k.fr; fr != nil {
+		// Snapshot-loaded KBs have no nested-map indexes; enumerate the
+		// frozen SPO arrays instead. Entry order is term-rank order and
+		// postings keep insertion order, so the result is identical to
+		// the map path's sort.
+		out := make([]rdf.Triple, 0, k.size)
+		byTerm := make([]TermID, len(fr.rank))
+		for id, r := range fr.rank {
+			byTerm[r] = TermID(id)
+		}
+		for _, s := range byTerm {
+			for e := fr.spoOff[s]; e < fr.spoOff[s+1]; e++ {
+				p := fr.spoPred[e]
+				for _, o := range fr.spoObj[fr.spoPost[e]:fr.spoPost[e+1]] {
+					out = append(out, rdf.Triple{S: k.terms[s], P: k.terms[p], O: k.terms[o]})
+				}
+			}
+		}
+		return out
+	}
 	out := make([]rdf.Triple, 0, k.size)
 	subjects := make([]TermID, 0, len(k.spo))
 	for s := range k.spo {

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package kb
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes OpenSnapshot fall back to the heap loader on
+// platforms without a memory-mapping implementation; behavior is
+// identical, only resident memory differs.
+var errNoMmap = errors.New("kb: memory mapping is not supported on this platform")
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(b []byte) error { return nil }

@@ -130,6 +130,19 @@ func LoadKB(name string, r io.Reader) (*KB, error) { return kb.Load(name, r) }
 // LoadKBFile reads an N-Triples file into a new KB.
 func LoadKBFile(name, path string) (*KB, error) { return kb.LoadFile(name, path) }
 
+// OpenKBSnapshot memory-maps a binary snapshot written by
+// KB.WriteSnapshot (or cmd/kbgen -snapshot) and serves frozen reads
+// directly from the mapped arrays: restart without re-parsing or
+// re-indexing. Every read — and every endpoint built over the KB — is
+// byte-identical to the KB that wrote the snapshot; mutations
+// transparently copy to the heap first. See ARCHITECTURE.md
+// ("Snapshots") for the format.
+func OpenKBSnapshot(path string) (*KB, error) { return kb.OpenSnapshot(path) }
+
+// ReadKBSnapshot decodes a snapshot from r onto the heap — the
+// portable twin of OpenKBSnapshot for non-file sources.
+func ReadKBSnapshot(r io.Reader) (*KB, error) { return kb.ReadSnapshot(r) }
+
 // Endpoint types: SOFYA reaches KBs only through SPARQL endpoints.
 type (
 	// Endpoint is a queryable SPARQL service.
@@ -207,6 +220,16 @@ func NewShardedEndpoint(k *KB, n int, seed int64) *ShardedEndpoint {
 // every shard.
 func NewShardedEndpointRestricted(k *KB, n int, seed int64, q Quota) *ShardedEndpoint {
 	return shard.PartitionedRestricted(k, n, seed, q)
+}
+
+// NewShardedEndpointFromSnapshots restarts a sharded endpoint group
+// from the per-shard snapshot files cmd/kbgen -snapshot -shards writes:
+// each shard is memory-mapped (no parsing, no re-indexing, planner
+// statistics embedded) and the group answers byte-identically to the
+// endpoint that wrote the shards. Paths may arrive in any order; the
+// partition order is recovered from each shard's recorded name.
+func NewShardedEndpointFromSnapshots(seed int64, paths ...string) (*ShardedEndpoint, error) {
+	return shard.GroupFromSnapshots(seed, paths)
 }
 
 // NewSPARQLClient builds an Endpoint speaking the SPARQL HTTP protocol.
