@@ -35,6 +35,28 @@ type PreparedQuery interface {
 	Stream(ctx context.Context, args ...sparql.Arg) (Rows, error)
 }
 
+// StreamBorrower is an optional PreparedQuery extension for consumers
+// that inspect each row once at a merge point and copy only the rows
+// they keep (the federation's ordered merge). StreamBorrowed is Stream
+// under a weaker row-lifetime contract: Row() may return a buffer that
+// is reused on the next Next call, so the endpoint can skip per-row
+// materialization entirely. Everything else — row order, RAND()
+// pairing, errors, truncation — is byte-identical to Stream.
+type StreamBorrower interface {
+	StreamBorrowed(ctx context.Context, args ...sparql.Arg) (Rows, error)
+}
+
+// StreamBorrowed opens pq's borrowed-row stream when the implementation
+// offers one, and falls back to the regular Stream otherwise — a stream
+// whose rows remain valid trivially satisfies the weaker borrowed
+// contract. Callers must treat every row as invalidated by Next.
+func StreamBorrowed(ctx context.Context, pq PreparedQuery, args ...sparql.Arg) (Rows, error) {
+	if b, ok := pq.(StreamBorrower); ok {
+		return b.StreamBorrowed(ctx, args...)
+	}
+	return pq.Stream(ctx, args...)
+}
+
 // preparedKey renders a stable cache/coalescing key for one execution
 // of a prepared query: the endpoint name, the template source, its
 // parameter declaration order, and the canonical argument renderings.
@@ -117,13 +139,25 @@ func (p *localPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, e
 // any query; the row cap and row statistics apply to the rows actually
 // pulled.
 func (p *localPrepared) Stream(ctx context.Context, args ...sparql.Arg) (Rows, error) {
+	return p.stream(ctx, args, (*sparql.Prepared).Iter)
+}
+
+// StreamBorrowed implements StreamBorrower natively: the engine writes
+// every row into one reused projection buffer (sparql.IterBorrowed), so
+// a merge-point consumer pulls the whole enumeration without a single
+// per-row allocation. Quota and statistics behave exactly like Stream.
+func (p *localPrepared) StreamBorrowed(ctx context.Context, args ...sparql.Arg) (Rows, error) {
+	return p.stream(ctx, args, (*sparql.Prepared).IterBorrowed)
+}
+
+func (p *localPrepared) stream(ctx context.Context, args []sparql.Arg, iter func(*sparql.Prepared, ...sparql.Arg) (*sparql.RowIter, error)) (Rows, error) {
 	if err := p.l.admitCtx(ctx); err != nil {
 		return nil, err
 	}
 	if p.plan.Template().Form() != sparql.SelectForm {
 		return nil, errNeedSelect
 	}
-	it, err := p.plan.Iter(args...)
+	it, err := iter(p.plan, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +223,7 @@ func (p *textPrepared) Stream(ctx context.Context, args ...sparql.Arg) (Rows, er
 }
 
 var (
-	_ PreparedQuery = (*localPrepared)(nil)
-	_ PreparedQuery = (*textPrepared)(nil)
+	_ PreparedQuery  = (*localPrepared)(nil)
+	_ StreamBorrower = (*localPrepared)(nil)
+	_ PreparedQuery  = (*textPrepared)(nil)
 )

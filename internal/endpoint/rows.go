@@ -9,8 +9,10 @@ import (
 // the stream early aborts the remaining work wherever the endpoint can
 // (a Local endpoint stops its join tree; remote endpoints have already
 // drained). Row slices are read-only and remain valid after further
-// Next calls. A Rows is not safe for concurrent use; independent
-// streams from one endpoint are.
+// Next calls — except on streams obtained through StreamBorrowed,
+// whose rows are reused buffers valid only until the next Next. A Rows
+// is not safe for concurrent use; independent streams from one
+// endpoint are.
 //
 // The iteration protocol matches sparql.RowIter: Next advances and
 // reports whether a row is available, Row returns it, Err reports the

@@ -1,0 +1,6 @@
+//go:build !race
+
+package shard
+
+// raceEnabled mirrors alloc_guard_race_test.go for plain test binaries.
+const raceEnabled = false

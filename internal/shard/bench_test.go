@@ -43,7 +43,7 @@ func BenchmarkShardedProbe(b *testing.B) {
 	b.Run("seq", func(b *testing.B) {
 		run(b, endpoint.NewLocal(benchKB(facts), 1))
 	})
-	for _, n := range []int{2, 4} {
+	for _, n := range []int{2, 4, 7} {
 		b.Run(fmt.Sprintf("fanout-%d", n), func(b *testing.B) {
 			run(b, Partitioned(benchKB(facts), n, 1))
 		})

@@ -1,8 +1,8 @@
 package shard
 
 import (
+	"encoding/binary"
 	"sort"
-	"strings"
 
 	"sofya/internal/endpoint"
 	"sofya/internal/rdf"
@@ -14,12 +14,17 @@ import (
 // in shard order, or k-way merge on ascending subject term (= whole-KB
 // enumeration order for star queries) — and fanoutRows applies the
 // merge-point result pipeline (DISTINCT dedup, OFFSET skip, LIMIT
-// early-exit) over either. Ordered queries drain first and go through
-// mergeOrderedResults, which re-derives ORDER BY keys on the
-// reconstructed enumeration and selects rows with the engine's own
-// comparator.
+// early-exit) over either. Ordered queries stream through orderedRows,
+// which re-derives ORDER BY keys on the reconstructed enumeration as
+// rows are pulled and keeps only a bounded top-(offset+limit) selection
+// of winners — O(k) memory and row materialization over an O(result)
+// enumeration, byte-identical to the unsharded engine because the
+// selection is the engine's own (sparql.TopK under sparql.CompareKeys).
 
-// rowsSource is the per-shard stream the mergers consume.
+// rowsSource is the per-shard stream the mergers consume. The ordered
+// merge feeds on borrowed streams (endpoint.StreamBorrowed): a source's
+// row is valid only until that source's next Next, so consumers copy
+// the rows they keep.
 type rowsSource = endpoint.Rows
 
 // replaySources wraps drained shard results as merge inputs
@@ -99,7 +104,8 @@ func (r *capRows) Close() {
 type puller interface {
 	// next returns the next merged row; ok is false at exhaustion or
 	// error (err reports which — a shard quota rejection mid-stream
-	// arrives here, not as a silent end).
+	// arrives here, not as a silent end). The row is borrowed: it is
+	// valid until the following next call, which may reuse its buffer.
 	next() (row []rdf.Term, ok bool, err error)
 	// truncated reports whether any contributing shard stream was
 	// truncated so far.
@@ -140,16 +146,22 @@ func (c *concatPuller) close()          { closeAll(c.sources) }
 // enumerate grouped by subject in term order) and subjects never span
 // shards, so always yielding the head with the least subject term
 // reconstructs the whole-KB enumeration exactly.
+//
+// The winning source is advanced lazily, at the start of the following
+// next call — a borrowed source reuses the yielded row's buffer on
+// advance, so the consumer gets a full pull cycle to inspect or copy
+// the row first.
 type subjectPuller struct {
 	sources []rowsSource
 	heads   [][]rdf.Term
 	col     int
+	last    int // source whose head the previous next yielded; -1 none
 	primed  bool
 	err     error
 }
 
 func newSubjectPuller(sources []rowsSource, col int) *subjectPuller {
-	return &subjectPuller{sources: sources, heads: make([][]rdf.Term, len(sources)), col: col}
+	return &subjectPuller{sources: sources, heads: make([][]rdf.Term, len(sources)), col: col, last: -1}
 }
 
 // advance pulls the next head of source i.
@@ -174,6 +186,13 @@ func (m *subjectPuller) next() ([]rdf.Term, bool, error) {
 				return nil, false, err
 			}
 		}
+	} else if m.last >= 0 {
+		i := m.last
+		m.last = -1
+		if err := m.advance(i); err != nil {
+			m.err = err
+			return nil, false, err
+		}
 	}
 	best := -1
 	for i, h := range m.heads {
@@ -187,12 +206,22 @@ func (m *subjectPuller) next() ([]rdf.Term, bool, error) {
 	if best < 0 {
 		return nil, false, nil
 	}
-	row := m.heads[best]
-	if err := m.advance(best); err != nil {
-		m.err = err
-		return nil, false, err
+	m.last = best
+	return m.heads[best], true, nil
+}
+
+// closeSource drops source i from the merge and closes its stream —
+// the ordered merge calls it once it has proved the source can no
+// longer contribute a winning row (see orderedRows.closeLosers).
+func (m *subjectPuller) closeSource(i int) {
+	if m.heads[i] == nil && m.last != i {
+		return
 	}
-	return row, true, nil
+	m.heads[i] = nil
+	if m.last == i {
+		m.last = -1
+	}
+	m.sources[i].Close()
 }
 
 func (m *subjectPuller) truncated() bool { return anyTruncated(m.sources) }
@@ -213,15 +242,54 @@ func closeAll(sources []rowsSource) {
 	}
 }
 
-// rowKey renders a projected row for DISTINCT dedup. Terms render
-// canonically, so the key agrees with the engine's TermID-based dedup.
-func rowKey(row []rdf.Term) string {
-	var sb strings.Builder
+// appendRowKey appends a compact binary rendering of a projected row to
+// buf — the merge point's DISTINCT dedup key. Each term contributes its
+// kind byte and length-prefixed value, datatype and language, so the
+// encoding is injective on term tuples: two rows collide iff their
+// terms are pairwise equal, which is exactly the engine's TermID-based
+// dedup relation (shard KBs intern canonicalized terms, so equal
+// TermIDs ⇔ equal canonical terms ⇔ equal keys).
+func appendRowKey(buf []byte, row []rdf.Term) []byte {
 	for _, t := range row {
-		sb.WriteString(t.String())
-		sb.WriteByte(0x1f)
+		buf = append(buf, byte(t.Kind))
+		buf = binary.AppendUvarint(buf, uint64(len(t.Value)))
+		buf = append(buf, t.Value...)
+		buf = binary.AppendUvarint(buf, uint64(len(t.Datatype)))
+		buf = append(buf, t.Datatype...)
+		buf = binary.AppendUvarint(buf, uint64(len(t.Lang)))
+		buf = append(buf, t.Lang...)
 	}
-	return sb.String()
+	return buf
+}
+
+// rowKey renders a projected row as a self-contained dedup key (an
+// owned copy of the appendRowKey encoding) — the allocation-tolerant
+// form for callers outside the hot merge loop.
+func rowKey(row []rdf.Term) string {
+	return string(appendRowKey(nil, row))
+}
+
+// rowDedup is the merge point's DISTINCT filter: one reused key buffer,
+// a map of already-emitted keys. Only a genuinely new row costs an
+// allocation (the map's owned key string); duplicate checks are
+// allocation-free.
+type rowDedup struct {
+	seen map[string]struct{}
+	buf  []byte
+}
+
+func newRowDedup() *rowDedup {
+	return &rowDedup{seen: make(map[string]struct{})}
+}
+
+// dup records the row and reports whether it was already seen.
+func (d *rowDedup) dup(row []rdf.Term) bool {
+	d.buf = appendRowKey(d.buf[:0], row)
+	if _, dup := d.seen[string(d.buf)]; dup {
+		return true
+	}
+	d.seen[string(d.buf)] = struct{}{}
+	return false
 }
 
 // fanoutRows is the merged stream handed to callers: it applies the
@@ -231,7 +299,7 @@ func rowKey(row []rdf.Term) string {
 type fanoutRows struct {
 	vars    []string
 	p       puller
-	seen    map[string]struct{} // nil when not DISTINCT
+	dedup   *rowDedup // nil when not DISTINCT
 	offset  int
 	limit   int
 	maxRows int // group-level row cap (0 = unlimited)
@@ -245,7 +313,7 @@ type fanoutRows struct {
 func newFanoutRows(vars []string, p puller, distinct bool, offset, limit, maxRows int) *fanoutRows {
 	f := &fanoutRows{vars: vars, p: p, offset: offset, limit: limit, maxRows: maxRows}
 	if distinct {
-		f.seen = make(map[string]struct{})
+		f.dedup = newRowDedup()
 	}
 	return f
 }
@@ -263,7 +331,6 @@ func (f *fanoutRows) Next() bool {
 		f.finish()
 		return false
 	}
-	capped := f.maxRows > 0 && f.emitted >= f.maxRows
 	for {
 		row, ok, err := f.p.next()
 		if err != nil {
@@ -275,20 +342,18 @@ func (f *fanoutRows) Next() bool {
 			f.finish()
 			return false
 		}
-		if f.seen != nil {
-			key := rowKey(row)
-			if _, dup := f.seen[key]; dup {
-				continue
-			}
-			f.seen[key] = struct{}{}
+		if f.dedup != nil && f.dedup.dup(row) {
+			continue
 		}
 		if f.offset > 0 {
 			f.offset--
 			continue
 		}
-		if capped {
-			// The group-level row cap is reached and another row was
-			// available: flag truncation, like the unsharded endpoint.
+		if f.maxRows > 0 && f.emitted >= f.maxRows {
+			// The group-level row cap is checked at each emission — after
+			// dedup and offset, never cached across skipped rows — and
+			// trips only because another emittable row was available,
+			// like the unsharded endpoint.
 			f.trunc = true
 			f.finish()
 			return false
@@ -313,11 +378,12 @@ func (f *fanoutRows) finish() {
 
 var _ endpoint.Rows = (*fanoutRows)(nil)
 
-// drainMerged collects a merged stream into a Result.
-func drainMerged(vars []string, p puller, distinct bool, offset, limit, maxRows int) (*sparql.Result, error) {
-	rows := newFanoutRows(vars, p, distinct, offset, limit, maxRows)
+// drainRows collects a merged stream into a Result. Emitted rows must
+// be owned by the stream's consumer side (fanoutRows yields rows of
+// non-borrowed sources; orderedRows yields owned winner buffers).
+func drainRows(rows endpoint.Rows) (*sparql.Result, error) {
 	defer rows.Close()
-	res := &sparql.Result{Vars: vars}
+	res := &sparql.Result{Vars: rows.Vars()}
 	for rows.Next() {
 		res.Rows = append(res.Rows, rows.Row())
 	}
@@ -328,8 +394,10 @@ func drainMerged(vars []string, p puller, distinct bool, offset, limit, maxRows 
 	return res, nil
 }
 
-// Truncated in fanoutRows.finish aggregates shard truncation; the
-// group-level cap sets it directly in Next.
+// drainMerged collects an unordered merged stream into a Result.
+func drainMerged(vars []string, p puller, distinct bool, offset, limit, maxRows int) (*sparql.Result, error) {
+	return drainRows(newFanoutRows(vars, p, distinct, offset, limit, maxRows))
+}
 
 // orderedMergeSpec parameterizes the ORDER BY reassembly.
 type orderedMergeSpec struct {
@@ -346,46 +414,109 @@ type orderedMergeSpec struct {
 
 // mrow is one merged candidate row with its re-derived sort keys and
 // its whole-KB enumeration index — the tiebreak that makes the bounded
-// selection order total, exactly as in the engine.
+// selection order total, exactly as in the engine. Kept rows own their
+// row and keys buffers; a replaced loser's buffers are reused in place.
 type mrow struct {
 	row  []rdf.Term
 	keys []sparql.Value
 	idx  int
 }
 
-// mergeOrderedResults reassembles an ORDER BY query from drained shard
-// results: rows are enumerated in reconstructed whole-KB order
-// (subject-term merge), DISTINCT drops duplicates before any key is
-// derived (duplicates consume no RAND draw, as in the engine), each
-// key is re-drawn (bare RAND, from the engine-identical stream) or
-// re-evaluated (deterministic keys, over the projected row), and the
-// final order is the engine's: a bounded top-k under the total
+// orderedRows reassembles an ORDER BY query from live shard streams as
+// an endpoint.Rows. Rows are enumerated in reconstructed whole-KB order
+// (subject-term merge over borrowed streams), DISTINCT drops duplicates
+// before any key is derived (duplicates consume no RAND draw, as in the
+// engine), each key is re-drawn (bare RAND, from the engine-identical
+// stream) or re-evaluated (deterministic keys, over the borrowed row),
+// and the final order is the engine's: a bounded top-k under the total
 // (keys, enumeration-index) order when the key list is statically
 // total-ordered and a LIMIT is set, the reference stable sort by keys
 // alone otherwise.
-func mergeOrderedResults(vars []string, results []*sparql.Result, spec orderedMergeSpec) (*sparql.Result, error) {
-	res := &sparql.Result{Vars: vars}
-	for _, r := range results {
-		if r.Truncated {
-			res.Truncated = true
+//
+// On the bounded path only the offset+limit winners are ever
+// materialized — a losing row is rejected while still borrowed, with a
+// reused key buffer, so memory and copies are O(k) over an O(result)
+// enumeration. The selection itself is sparql.TopK, the executor's own.
+//
+// The enumeration runs on the first Next (ORDER BY cannot emit before
+// seeing every candidate); shard streams close as soon as the merge is
+// done with them — at enumeration end, on error, on a pre-run Close,
+// or early (closeLosers) once a stream provably cannot contribute.
+type orderedRows struct {
+	vars  []string
+	merge *subjectPuller
+	spec  orderedMergeSpec
+
+	started bool
+	done    bool
+	out     []mrow // sorted winners awaiting emission
+	next    int    // emission cursor into out
+	row     []rdf.Term
+	err     error
+	trunc   bool
+}
+
+func newOrderedRows(vars []string, sources []rowsSource, spec orderedMergeSpec) *orderedRows {
+	return &orderedRows{vars: vars, merge: newSubjectPuller(sources, spec.col), spec: spec}
+}
+
+func (r *orderedRows) Vars() []string  { return r.vars }
+func (r *orderedRows) Row() []rdf.Term { return r.row }
+func (r *orderedRows) Err() error      { return r.err }
+func (r *orderedRows) Truncated() bool { return r.trunc }
+
+func (r *orderedRows) Next() bool {
+	if r.done {
+		return false
+	}
+	if !r.started {
+		r.started = true
+		r.run()
+		if r.err != nil {
+			r.done = true
+			return false
 		}
 	}
+	if r.next >= len(r.out) {
+		r.done = true
+		r.row = nil
+		return false
+	}
+	r.row = r.out[r.next].row
+	r.next++
+	return true
+}
 
+func (r *orderedRows) Close() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.row = nil
+	if !r.started {
+		// The enumeration never ran: the shard streams are still open.
+		r.merge.close()
+	}
+}
+
+// run drives the whole merged enumeration and leaves the selected
+// window (offset applied, limit and group cap enforced) in r.out. It
+// closes every shard stream before returning.
+func (r *orderedRows) run() {
+	spec := &r.spec
 	target := -1
 	if spec.limit >= 0 {
 		target = spec.offset + spec.limit
-		if target == 0 {
-			return res, nil
-		}
 	}
-	bounded := target >= 0 && spec.orderTotal
 
 	// The comparators are the engine's own (sparql.CompareKeys, the
 	// single definition both sides use), with the enumeration index as
 	// the tiebreak that makes `before` total.
 	desc := make([]bool, len(spec.keys))
+	hasRand := false
 	for i, k := range spec.keys {
 		desc[i] = k.Desc
+		hasRand = hasRand || k.Rand
 	}
 	keyLess := func(a, b *mrow) bool {
 		return sparql.CompareKeys(a.keys, b.keys, desc) < 0
@@ -397,74 +528,147 @@ func mergeOrderedResults(vars []string, results []*sparql.Result, spec orderedMe
 		return a.idx < b.idx
 	}
 
-	var draw func() float64
-	for _, k := range spec.keys {
-		if k.Rand {
-			draw = sparql.RandFloats(spec.seed, spec.text)
-			break
-		}
+	if target == 0 {
+		r.trunc = r.merge.truncated()
+		r.merge.close()
+		return
 	}
 
-	var seen map[string]struct{}
-	if spec.distinct {
-		seen = make(map[string]struct{})
+	var draw func() float64
+	if hasRand {
+		draw = sparql.RandFloats(spec.seed, spec.text)
 	}
-	var rows []mrow
+	var dedup *rowDedup
+	if spec.distinct {
+		dedup = newRowDedup()
+	}
+
+	// Early close is sound only without RAND keys (every enumerated row
+	// must consume its draw — a closed stream would shift the pairing)
+	// and with the ascending subject as the first key, which makes each
+	// stream's first-key sequence non-decreasing: once a head's subject
+	// orders strictly after the worst kept row's, every later row of
+	// that stream loses the first-key comparison outright.
+	var topk *sparql.TopK[mrow]
+	earlyClose := false
+	if bounded := target > 0 && spec.orderTotal; bounded {
+		topk = sparql.NewTopK[mrow](target, before)
+		earlyClose = !hasRand && len(spec.keys) > 0 && spec.keys[0].SubjectKey && !spec.keys[0].Desc
+	}
+
+	var all []mrow // unbounded path: every candidate, enumeration order
+	keyScratch := make([]sparql.Value, len(spec.keys))
+	// cur is the admission probe, hoisted out of the loop: its address
+	// goes into the dynamic Admits call, so a per-row local would
+	// escape and allocate on every merged row.
+	cur := mrow{keys: keyScratch}
 	idx := 0
-	merge := newSubjectPuller(replaySources(results), spec.col)
 	for {
-		row, ok, err := merge.next()
+		row, ok, err := r.merge.next()
 		if err != nil {
-			return nil, err
+			r.err = err
+			r.merge.close()
+			return
 		}
 		if !ok {
 			break
 		}
-		if seen != nil {
-			key := rowKey(row)
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
-		}
-		cur := mrow{row: row, keys: make([]sparql.Value, len(spec.keys)), idx: idx}
-		idx++
-		for i, k := range spec.keys {
-			if k.Rand {
-				cur.keys[i] = sparql.NumValue(draw())
-			} else {
-				cur.keys[i] = k.Eval(row)
-			}
-		}
-		if bounded && len(rows) == target {
-			// The heap root is the worst kept row; a newcomer that does
-			// not order before it can never reach the output.
-			if !before(&cur, &rows[0]) {
-				continue
-			}
-			rows[0] = cur
-			sparql.HeapSiftDown(rows, 0, before)
+		if dedup != nil && dedup.dup(row) {
 			continue
 		}
-		rows = append(rows, cur)
-		if bounded {
-			sparql.HeapSiftUp(rows, len(rows)-1, before)
+		for i := range spec.keys {
+			if spec.keys[i].Rand {
+				keyScratch[i] = sparql.NumValue(draw())
+			} else {
+				keyScratch[i] = spec.keys[i].Eval(row)
+			}
+		}
+		cur.row, cur.idx = row, idx
+		idx++
+
+		if topk == nil {
+			all = append(all, mrow{
+				row:  append([]rdf.Term(nil), row...),
+				keys: append([]sparql.Value(nil), keyScratch...),
+				idx:  cur.idx,
+			})
+			continue
+		}
+		if topk.Admits(&cur) {
+			if topk.Full() {
+				// Overwrite the worst kept row in place, reusing its
+				// buffers — the zero-allocation replacement.
+				worst := topk.Worst()
+				worst.row = append(worst.row[:0], row...)
+				copy(worst.keys, keyScratch)
+				worst.idx = cur.idx
+				topk.FixWorst()
+			} else {
+				topk.Push(mrow{
+					row:  append([]rdf.Term(nil), row...),
+					keys: append([]sparql.Value(nil), keyScratch...),
+					idx:  cur.idx,
+				})
+			}
+		}
+		if earlyClose && topk.Full() {
+			r.closeLosers(topk.Worst().row)
 		}
 	}
+	r.trunc = r.merge.truncated()
+	r.merge.close()
 
-	if bounded {
-		sort.Slice(rows, func(i, j int) bool { return before(&rows[i], &rows[j]) })
+	var rows []mrow
+	if topk != nil {
+		rows = topk.Sorted()
 	} else {
 		// rows are in reconstructed enumeration order; the stable sort
 		// with the pure key comparator reproduces the engine exactly.
-		sort.SliceStable(rows, func(i, j int) bool { return keyLess(&rows[i], &rows[j]) })
+		sort.SliceStable(all, func(i, j int) bool { return keyLess(&all[i], &all[j]) })
+		rows = all
 	}
 	end := len(rows)
 	if target >= 0 && target < end {
 		end = target
 	}
-	for i := spec.offset; i < end; i++ {
-		res.Rows = append(res.Rows, rows[i].row)
+	if spec.offset < end {
+		rows = rows[spec.offset:end]
+	} else {
+		rows = nil
 	}
-	return capResult(res, spec.maxRows), nil
+	if spec.maxRows > 0 && len(rows) > spec.maxRows {
+		rows = rows[:spec.maxRows]
+		r.trunc = true
+	}
+	r.out = rows
+}
+
+// closeLosers closes every stream whose head subject orders strictly
+// after the worst kept row's subject (= its first key, since the first
+// key is the ascending SubjectKey) — sound under the conditions
+// established in run: every later row of such a stream has a subject at
+// least as large and a larger enumeration index, so it loses the
+// selection outright, and dropping whole loser suffixes preserves the
+// relative enumeration order (and so the idx tiebreak) of every
+// surviving row.
+func (r *orderedRows) closeLosers(worst []rdf.Term) {
+	m := r.merge
+	pivot := worst[r.spec.col]
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if h[r.spec.col].Compare(pivot) > 0 {
+			m.closeSource(i)
+		}
+	}
+}
+
+var _ endpoint.Rows = (*orderedRows)(nil)
+
+// mergeOrderedResults reassembles an ORDER BY query from drained shard
+// results — the text-query path, which has no per-shard streams to pull
+// from — by replaying them through the same streaming merge.
+func mergeOrderedResults(vars []string, results []*sparql.Result, spec orderedMergeSpec) (*sparql.Result, error) {
+	return drainRows(newOrderedRows(vars, replaySources(results), spec))
 }

@@ -32,7 +32,9 @@ const (
 	// row-set difference.
 	stratConcat
 	// stratMergeOrdered: ORDER BY query; shards stream the stripped
-	// enumeration, the merge point re-derives keys and sorts.
+	// enumeration (borrowed rows, no per-row materialization), the merge
+	// point re-derives keys in reconstructed whole-KB enumeration order
+	// and keeps a bounded top-(offset+limit) selection of winners.
 	stratMergeOrdered
 )
 

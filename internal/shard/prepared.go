@@ -207,16 +207,16 @@ func (p *groupPrepared) SelectCtx(ctx context.Context, args ...sparql.Arg) (*spa
 		}
 		return capResult(res, p.g.maxRows), nil
 	}
-	results, err := p.drain(ctx, args)
-	if err != nil {
-		return nil, err
-	}
 	if p.strat == stratMergeOrdered {
-		spec, err := p.orderedSpec(args)
+		rows, err := p.streamOrdered(ctx, args)
 		if err != nil {
 			return nil, err
 		}
-		return mergeOrderedResults(p.vars(), results, spec)
+		return drainRows(rows)
+	}
+	results, err := p.drain(ctx, args)
+	if err != nil {
+		return nil, err
 	}
 	limit, offset := p.effective(args)
 	return drainMerged(p.vars(), p.puller(replaySources(results)), p.distinct, offset, limit, p.g.maxRows)
@@ -242,11 +242,12 @@ func (p *groupPrepared) AskCtx(ctx context.Context, args ...sparql.Arg) (bool, e
 }
 
 // Stream implements PreparedQuery. Routed executions stream natively
-// from their shard. Unordered fan-outs open every shard stream and
-// merge lazily — rows are pulled from the shards only as the caller
-// pulls, and an early Close aborts every shard mid-join. Ordered
-// fan-outs must see the whole enumeration to reassemble ORDER BY, so
-// they drain concurrently and replay the merged result.
+// from their shard. Fan-outs open every shard stream and merge lazily —
+// rows are pulled from the shards only as the caller pulls, and an
+// early Close aborts every shard mid-join. Ordered fan-outs reassemble
+// ORDER BY through the streaming bounded merge (orderedRows): the whole
+// enumeration is still consumed — ORDER BY cannot emit earlier — but
+// over borrowed per-shard streams that never materialize losing rows.
 func (p *groupPrepared) Stream(ctx context.Context, args ...sparql.Arg) (endpoint.Rows, error) {
 	if p.form != sparql.SelectForm {
 		return nil, fmt.Errorf("shard: Stream needs a SELECT query")
@@ -266,20 +267,36 @@ func (p *groupPrepared) Stream(ctx context.Context, args ...sparql.Arg) (endpoin
 		return newCapRows(rows, p.g.maxRows), nil
 	}
 	if p.strat == stratMergeOrdered {
-		results, err := p.drain(ctx, args)
-		if err != nil {
-			return nil, err
-		}
-		spec, err := p.orderedSpec(args)
-		if err != nil {
-			return nil, err
-		}
-		res, err := mergeOrderedResults(p.vars(), results, spec)
-		if err != nil {
-			return nil, err
-		}
-		return endpoint.ReplayRows(res), nil
+		return p.streamOrdered(ctx, args)
 	}
+	sources, err := p.openStreams(ctx, args, false)
+	if err != nil {
+		return nil, err
+	}
+	limit, offset := p.effective(args)
+	return newFanoutRows(p.vars(), p.puller(sources), p.distinct, offset, limit, p.g.maxRows), nil
+}
+
+// streamOrdered opens borrowed per-shard streams and reassembles the
+// ordered whole-KB result over them — the one ordered-merge path both
+// SelectCtx and Stream use.
+func (p *groupPrepared) streamOrdered(ctx context.Context, args []sparql.Arg) (endpoint.Rows, error) {
+	spec, err := p.orderedSpec(args)
+	if err != nil {
+		return nil, err
+	}
+	sources, err := p.openStreams(ctx, args, true)
+	if err != nil {
+		return nil, err
+	}
+	return newOrderedRows(p.vars(), sources, spec), nil
+}
+
+// openStreams opens the pushdown query's stream on every shard
+// concurrently. borrowed selects the borrowed-row contract (for the
+// ordered merge, which copies only winning rows); unordered merges keep
+// the regular contract, since fanoutRows hands shard rows to callers.
+func (p *groupPrepared) openStreams(ctx context.Context, args []sparql.Arg, borrowed bool) ([]rowsSource, error) {
 	pargs := p.pushArgs(args)
 	sources := make([]rowsSource, len(p.push))
 	// The shard streams outlive the fan-out (the caller pulls from them
@@ -289,7 +306,13 @@ func (p *groupPrepared) Stream(ctx context.Context, args ...sparql.Arg) (endpoin
 	// caching continuation) must not see a context that expired with
 	// the open.
 	err := p.g.fanout(ctx, func(_ context.Context, i int) error {
-		rows, err := p.push[i].Stream(ctx, pargs...)
+		var rows endpoint.Rows
+		var err error
+		if borrowed {
+			rows, err = endpoint.StreamBorrowed(ctx, p.push[i], pargs...)
+		} else {
+			rows, err = p.push[i].Stream(ctx, pargs...)
+		}
 		if err != nil {
 			return err
 		}
@@ -304,8 +327,7 @@ func (p *groupPrepared) Stream(ctx context.Context, args ...sparql.Arg) (endpoin
 		}
 		return nil, err
 	}
-	limit, offset := p.effective(args)
-	return newFanoutRows(p.vars(), p.puller(sources), p.distinct, offset, limit, p.g.maxRows), nil
+	return sources, nil
 }
 
 // drain runs the pushdown on every shard concurrently.

@@ -33,6 +33,13 @@ type execState struct {
 	rnd    *rand.Rand
 	textFn func() string
 
+	// borrowRow, when non-nil, is the reused projection buffer of a
+	// borrowed-row execution (Prepared.IterBorrowed): every emitted row
+	// is written into it instead of a fresh allocation, so the consumer
+	// must copy rows it keeps. nil = materialize a fresh row per
+	// emission (the default contract).
+	borrowRow []rdf.Term
+
 	// planned caches per-execution join orders of EXISTS subgroups;
 	// their bound-register set is fixed by the attachment point, so one
 	// plan serves every row.
@@ -169,9 +176,13 @@ func (d *distinctFilter) dup(ex *execState) bool {
 	return false
 }
 
-// projectRow materializes the projected registers as a fresh term row.
+// projectRow materializes the projected registers as a term row: a
+// fresh slice per call, or the execution's reused borrow buffer.
 func (ex *execState) projectRow() []rdf.Term {
-	row := make([]rdf.Term, len(ex.p.projSlot))
+	row := ex.borrowRow
+	if row == nil {
+		row = make([]rdf.Term, len(ex.p.projSlot))
+	}
 	for i, s := range ex.p.projSlot {
 		row[i] = ex.k.Term(ex.regs[s])
 	}
@@ -270,7 +281,6 @@ func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) boo
 		return a.idx < b.idx
 	}
 
-	var rows []orderedRow // max-heap by `before` when bounded
 	keyScratch := make([]Value, len(p.orderKeys))
 	idx := 0
 	snapshot := func(dst *orderedRow) {
@@ -284,6 +294,20 @@ func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) boo
 		copy(dst.keys, keyScratch)
 	}
 
+	// Bounded: the shared top-k selector (topk.go, the same selection
+	// the federation merge runs) keeps the best target rows; a newcomer
+	// that does not beat the worst kept row is rejected without ever
+	// being stored, and an admitted one overwrites the worst in place —
+	// reusing its buffers, no allocation.
+	var topk *TopK[orderedRow]
+	var rows []orderedRow
+	if bounded {
+		topk = NewTopK[orderedRow](target, before)
+	}
+	// cur is the admission probe, hoisted out of the emit callback: its
+	// address goes into the dynamic Admits call, so a per-row local
+	// would escape and allocate on every enumerated row.
+	cur := orderedRow{keys: keyScratch}
 	err := ex.runGroup(p.main, func() error {
 		if distinct != nil && distinct.dup(ex) {
 			return nil
@@ -291,34 +315,35 @@ func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) boo
 		for i, kf := range p.orderKeys {
 			keyScratch[i] = kf(ex)
 		}
-		cur := orderedRow{keys: keyScratch, idx: idx}
+		cur.idx = idx
 		idx++
-		if bounded && len(rows) == target {
-			// Bounded: the heap root is the worst kept row. A newcomer
-			// that does not order before it can never reach the output;
-			// otherwise it replaces the root in place — no allocation.
-			if !before(&cur, &rows[0]) {
+		if topk != nil {
+			if !topk.Admits(&cur) {
 				return nil
 			}
-			rows[0].idx = cur.idx
-			snapshot(&rows[0])
-			HeapSiftDown(rows, 0, before)
+			if topk.Full() {
+				worst := topk.Worst()
+				worst.idx = cur.idx
+				snapshot(worst)
+				topk.FixWorst()
+				return nil
+			}
+			kept := orderedRow{idx: cur.idx}
+			snapshot(&kept)
+			topk.Push(kept)
 			return nil
 		}
 		kept := orderedRow{idx: cur.idx}
 		snapshot(&kept)
 		rows = append(rows, kept)
-		if bounded {
-			HeapSiftUp(rows, len(rows)-1, before)
-		}
 		return nil
 	})
 	if err != nil && err != errStop {
 		return err
 	}
 
-	if bounded {
-		sort.Slice(rows, func(i, j int) bool { return before(&rows[i], &rows[j]) })
+	if topk != nil {
+		rows = topk.Sorted()
 	} else {
 		// rows are in enumeration order; the stable sort with the pure
 		// key comparator reproduces the reference engine exactly.
@@ -329,7 +354,10 @@ func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) boo
 		end = target
 	}
 	for i := offset; i < end; i++ {
-		row := make([]rdf.Term, len(rows[i].ids))
+		row := ex.borrowRow
+		if row == nil {
+			row = make([]rdf.Term, len(rows[i].ids))
+		}
 		for j, id := range rows[i].ids {
 			row[j] = ex.k.Term(id)
 		}
@@ -338,43 +366,6 @@ func (ex *execState) streamOrdered(limit, offset int, yield func([]rdf.Term) boo
 		}
 	}
 	return nil
-}
-
-// HeapSiftUp and HeapSiftDown maintain s as a max-heap under `before`
-// (the root is the element that would be emitted last) — the bounded
-// top-k selection primitive of streamOrdered, exported because the
-// federation merge (internal/shard) performs the same selection over
-// merged rows and must stay byte-identical to the executor's.
-func HeapSiftUp[T any](s []T, i int, before func(a, b *T) bool) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !before(&s[parent], &s[i]) {
-			return
-		}
-		s[parent], s[i] = s[i], s[parent]
-		i = parent
-	}
-}
-
-// HeapSiftDown restores the max-heap property downward from i; see
-// HeapSiftUp.
-func HeapSiftDown[T any](s []T, i int, before func(a, b *T) bool) {
-	n := len(s)
-	for {
-		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && before(&s[largest], &s[l]) {
-			largest = l
-		}
-		if r < n && before(&s[largest], &s[r]) {
-			largest = r
-		}
-		if largest == i {
-			return
-		}
-		s[i], s[largest] = s[largest], s[i]
-		i = largest
-	}
 }
 
 // join recurses over the planned steps, applying each step's attached

@@ -61,8 +61,10 @@ func (it *RowIter) Next() bool {
 	return true
 }
 
-// Row returns the current row. The slice is freshly allocated per row
-// and remains valid after further Next calls.
+// Row returns the current row. For iterators from Iter/Stream the slice
+// is freshly allocated per row and remains valid after further Next
+// calls; for IterBorrowed iterators it is a reused buffer, valid only
+// until the next Next.
 func (it *RowIter) Row() []rdf.Term { return it.row }
 
 // Err returns the error that ended iteration, if any. It is nil while
@@ -94,6 +96,87 @@ func (p *Prepared) Iter(args ...Arg) (*RowIter, error) {
 	return newRowIter(p.vars, func(yield func([]rdf.Term) bool) error {
 		return ex.streamSelect(limit, offset, yield)
 	}), nil
+}
+
+// borrowBatch is the number of rows a borrowed iterator ferries per
+// coroutine switch. The iter.Pull handoff costs on the order of 100ns
+// per switch — per-row, that dwarfs the work of producing a row from a
+// frozen KB — so borrowed iterators rotate through a ring of batch
+// projection buffers and cross the coroutine boundary once per batch.
+const borrowBatch = 64
+
+// IterBorrowed is Iter with borrowed rows: Row() returns a buffer that
+// is reused after at most borrowBatch further Next calls (treat it as
+// valid only until the next Next) — the iterator writes rows into a
+// fixed ring of projection buffers instead of allocating per row.
+// Consumers that inspect rows at a merge point and copy only the
+// winners (the federation's ordered merge) avoid O(result) row
+// materialization; everything else about the stream — order, RAND()
+// pairing, errors — is byte-identical to Iter.
+func (p *Prepared) IterBorrowed(args ...Arg) (*RowIter, error) {
+	if p.form != SelectForm {
+		return nil, fmt.Errorf("sparql: IterBorrowed needs a SELECT query")
+	}
+	if err := p.checkArgs(args); err != nil {
+		return nil, err
+	}
+	ex, limit, offset := p.start(args, p.textFnFor(args))
+	nv := len(p.vars)
+	slots := make([][]rdf.Term, borrowBatch)
+	backing := make([]rdf.Term, borrowBatch*nv)
+	for i := range slots {
+		slots[i] = backing[i*nv : (i+1)*nv : (i+1)*nv]
+	}
+	return newBatchRowIter(p.vars, func(yield func([][]rdf.Term) bool) error {
+		buf := make([][]rdf.Term, 0, borrowBatch)
+		si := 0
+		ex.borrowRow = slots[0]
+		err := ex.streamSelect(limit, offset, func(row []rdf.Term) bool {
+			buf = append(buf, row)
+			si++
+			if si == borrowBatch {
+				if !yield(buf) {
+					return false
+				}
+				buf, si = buf[:0], 0
+			}
+			ex.borrowRow = slots[si]
+			return true
+		})
+		if err == nil && len(buf) > 0 {
+			yield(buf)
+		}
+		return err
+	}), nil
+}
+
+// newBatchRowIter wraps a batch-yielding streaming core into the same
+// pull iterator, amortizing the coroutine switch over whole batches.
+// run must yield non-empty batches of rows, in order; a yielded batch
+// stays readable until run resumes (the consumer pulls again).
+func newBatchRowIter(vars []string, run func(yield func([][]rdf.Term) bool) error) *RowIter {
+	it := &RowIter{vars: vars}
+	runErr := new(error)
+	it.errp = runErr
+	pull, stop := iter.Pull(func(yield func([][]rdf.Term) bool) {
+		*runErr = run(yield)
+	})
+	var cur [][]rdf.Term
+	bi := 0
+	it.next = func() ([]rdf.Term, bool) {
+		for bi >= len(cur) {
+			b, ok := pull()
+			if !ok {
+				return nil, false
+			}
+			cur, bi = b, 0
+		}
+		row := cur[bi]
+		bi++
+		return row, true
+	}
+	it.stop = stop
+	return it
 }
 
 // Stream evaluates a parsed SELECT query as a row iterator, through the

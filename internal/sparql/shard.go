@@ -22,6 +22,16 @@ type ShardOrderKey struct {
 	Rand bool
 	// Desc is the key's sort direction.
 	Desc bool
+	// SubjectKey marks a key that is the bare common subject variable.
+	// Its value is monotonically non-decreasing along the merged
+	// enumeration (shard streams interleave on ascending subject term),
+	// which is what lets the merge close losing shard streams early:
+	// with an ascending first SubjectKey and a full top-k heap, a shard
+	// whose head subject already orders strictly after the worst kept
+	// row can never contribute again — every later row of that shard
+	// has a ≥ subject and a larger enumeration index. RAND keys void
+	// this (every enumerated row must consume a draw).
+	SubjectKey bool
 	// Eval computes the key's Value from a projected row; nil when Rand
 	// is set or the key cannot be computed from the projection alone.
 	Eval func(row []rdf.Term) Value
@@ -167,12 +177,21 @@ func AnalyzeShard(q *Query, isParam func(name string) bool) ShardShape {
 	}
 	walkFilters(q.Where)
 
-	// ORDER BY keys.
+	// ORDER BY keys. A key list is statically total-ordered when every
+	// key is always-numeric (the engine's own gate) or the bare subject
+	// variable: subject values are always terms of the same comparison
+	// class (never numeric- or string-coercible literals), so
+	// valuesOrder falls through to the total term order. Bounded top-k
+	// selection with an enumeration-index tiebreak then equals the
+	// reference stable sort.
 	sh.Keys = make([]ShardOrderKey, len(q.OrderBy))
 	sh.KeysMergeable = true
 	sh.OrderTotal = len(q.OrderBy) > 0
 	for i, k := range q.OrderBy {
-		if !exprAlwaysNumeric(k.Expr) {
+		if v, ok := k.Expr.(exVar); ok && sh.SubjectVar != "" && v.name == sh.SubjectVar {
+			sh.Keys[i].SubjectKey = true
+		}
+		if !exprAlwaysNumeric(k.Expr) && !sh.Keys[i].SubjectKey {
 			sh.OrderTotal = false
 		}
 		sh.Keys[i].Desc = k.Desc

@@ -1,0 +1,112 @@
+package sparql
+
+import "sort"
+
+// topk.go is the bounded top-k selection primitive shared by the
+// executor's ORDER BY path (streamOrdered) and the federation merge
+// (internal/shard): keep the best `target` items under a total order,
+// reject losers in O(log k) without retaining them, and emit the
+// winners sorted. Both sides selecting with literally the same code is
+// part of what keeps sharded ORDER BY results byte-identical to the
+// unsharded engine's.
+
+// TopK selects the `target` least items under a total `before` order
+// over a stream of candidates, holding at most `target` items at any
+// moment. Internally the kept items form a max-heap (the root is the
+// worst kept item, the one that would be emitted last), so a candidate
+// that does not order before the root is rejected in O(1) comparisons
+// without ever being stored — callers reuse the candidate's buffers for
+// the next row, which is what makes O(k) memory possible over an
+// O(result) enumeration.
+//
+// `before` must be a strict total order (use an enumeration-index
+// tiebreak to totalize a key comparison); with a merely partial order
+// the heap selection can diverge from a reference stable sort.
+//
+// The zero value is not usable; construct with NewTopK. A TopK is not
+// safe for concurrent use.
+type TopK[T any] struct {
+	items  []T
+	target int
+	before func(a, b *T) bool
+}
+
+// NewTopK returns a selector for the `target` least items under
+// `before`. target must be positive.
+func NewTopK[T any](target int, before func(a, b *T) bool) *TopK[T] {
+	return &TopK[T]{target: target, before: before}
+}
+
+// Full reports whether the selection holds target items — from then on
+// admission requires beating the worst kept item.
+func (t *TopK[T]) Full() bool { return len(t.items) == t.target }
+
+// Len returns the number of items currently held.
+func (t *TopK[T]) Len() int { return len(t.items) }
+
+// Admits reports whether x would enter the selection: always, until the
+// selection is full; afterwards only if x orders before the worst kept
+// item. It does not modify the selection.
+func (t *TopK[T]) Admits(x *T) bool {
+	return len(t.items) < t.target || t.before(x, &t.items[0])
+}
+
+// Worst returns the worst kept item in place (the heap root). Callers
+// on the zero-allocation path overwrite it — reusing its buffers — and
+// then call FixWorst. Only valid when Len() > 0.
+func (t *TopK[T]) Worst() *T { return &t.items[0] }
+
+// FixWorst restores the heap order after the caller overwrote *Worst().
+func (t *TopK[T]) FixWorst() { siftDown(t.items, 0, t.before) }
+
+// Push admits x into a non-full selection. Callers must check Admits
+// (or !Full) first; pushing into a full selection panics via the
+// append-beyond-target guard below.
+func (t *TopK[T]) Push(x T) {
+	if len(t.items) >= t.target {
+		panic("sparql: TopK.Push on a full selection (use Worst/FixWorst)")
+	}
+	t.items = append(t.items, x)
+	siftUp(t.items, len(t.items)-1, t.before)
+}
+
+// Sorted sorts the kept items into emission order (least first, under
+// `before`) and returns them. The selection must not be used afterwards.
+func (t *TopK[T]) Sorted() []T {
+	items, before := t.items, t.before
+	sort.Slice(items, func(i, j int) bool { return before(&items[i], &items[j]) })
+	return items
+}
+
+// siftUp restores the max-heap property (the root orders last under
+// `before`) upward from i.
+func siftUp[T any](s []T, i int, before func(a, b *T) bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(&s[parent], &s[i]) {
+			return
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property downward from i.
+func siftDown[T any](s []T, i int, before func(a, b *T) bool) {
+	n := len(s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && before(&s[largest], &s[l]) {
+			largest = l
+		}
+		if r < n && before(&s[largest], &s[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s[i], s[largest] = s[largest], s[i]
+		i = largest
+	}
+}
