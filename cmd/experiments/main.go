@@ -4,6 +4,7 @@
 //
 //	experiments -spec paper -e all
 //	experiments -spec tiny -e table1,e4 -md
+//	experiments -e candidates -candsizes 2000,20000,100000 -topk 16
 //
 // With -world, the evaluation world is loaded from a directory written
 // by cmd/kbgen instead of being regenerated; when the directory holds
@@ -21,9 +22,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"sofya/internal/core"
 	"sofya/internal/eval"
 	"sofya/internal/experiments"
 	"sofya/internal/synth"
@@ -33,7 +36,9 @@ func main() {
 	var (
 		specName   = flag.String("spec", "paper", "world size: tiny | paper")
 		worldDir   = flag.String("world", "", "load the world from this kbgen output directory (snapshots used when present) instead of generating it")
-		which      = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7")
+		which      = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7 (candidates runs only when named: it generates its own scale worlds)")
+		candSizes  = flag.String("candsizes", "2000,20000,100000", "target inventory sizes for the candidates asymptotics sweep")
+		topk       = flag.Int("topk", 16, "candidate top-k for the candidates experiment")
 		markdown   = flag.Bool("md", false, "emit markdown tables")
 		parallel   = flag.Int("parallel", 0, "aligner worker bound per run (0 = GOMAXPROCS; results are identical at any setting)")
 		shards     = flag.Int("shards", 1, "serve each KB as this many subject-hash shards behind a federating group (alignment output is identical at any setting; the E4 query/row accounting reflects the per-shard fan-out)")
@@ -133,7 +138,38 @@ func main() {
 	if has("e7") {
 		emit("E7 — on-the-fly vs snapshot", experiments.RenderSnapshot(experiments.SnapshotComparison(setup, table1)))
 	}
+	// The candidates experiment ignores -spec/-world: it generates its
+	// own ScaleSpec worlds, whose inventories reach the sizes where
+	// all-pairs candidate generation stops being viable. It is excluded
+	// from "all" because the largest sweep point takes minutes.
+	if want["candidates"] {
+		sizes, err := parseSizes(*candSizes)
+		check(err)
+		points, err := experiments.CandidateAsymptotics(sizes, *topk)
+		check(err)
+		emit(fmt.Sprintf("E8 — candidate generation asymptotics (top-%d)", *topk),
+			experiments.RenderAsymptotics(points))
+		diffN := sizes[len(sizes)-1]
+		diff, err := experiments.CandidateDifferential(
+			experiments.NewSetup(synth.Generate(synth.ScaleSpec(diffN))),
+			core.UBSConfig(), *topk, 0)
+		check(err)
+		emit(fmt.Sprintf("E8 — pruned vs exact alignment differential (n=%d, top-%d)", diffN, *topk),
+			experiments.RenderDifferential(diff))
+	}
 	fmt.Fprintf(os.Stderr, "# total time %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func parseSizes(csv string) ([]int, error) {
+	var sizes []int
+	for _, s := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -candsizes entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 func check(err error) {

@@ -22,6 +22,11 @@
 // over caching+coalescing endpoint decorators, which deduplicate the
 // endpoint traffic the concurrent aligners share; output order and
 // content match the sequential run.
+//
+// With -candidates, each relation's candidate universe is pruned to the
+// candidate index's top-k (-topk) before validation — the sub-linear
+// path for large target inventories. Without it the aligner runs in
+// exact mode, byte-identical to builds predating the index.
 package main
 
 import (
@@ -54,6 +59,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "partition each KB into this many subject-hash shards behind a federating endpoint group (results are identical at any setting)")
 		parallel  = flag.Int("parallel", 0, "pipeline worker bound (0 = GOMAXPROCS)")
 		batch     = flag.Bool("batch", false, "align relations concurrently over shared caching+coalescing endpoints")
+		cands     = flag.Bool("candidates", false, "prune each relation's candidate universe to the candidate index's top-k (internal/candidates); off = exact mode")
+		topk      = flag.Int("topk", 16, "candidate top-k when -candidates is set")
 		verbose   = flag.Bool("v", false, "trace aligner decisions")
 		rejected  = flag.Bool("rejected", false, "also print rejected candidates")
 	)
@@ -63,6 +70,9 @@ func main() {
 	cfg.SampleSize = *samples
 	cfg.Parallelism = *parallel
 	cfg.Shards = *shards
+	if *cands {
+		cfg.CandidateTopK = *topk
+	}
 	if *verbose {
 		cfg.Trace = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)

@@ -1,0 +1,222 @@
+package candidates
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/sampling"
+)
+
+// Prober answers top-k candidate queries against an Index for source
+// relations living on a source endpoint. It owns the prepared sampling
+// probe and reusable scratch buffers; a mutex serializes probes, so one
+// Prober is safe for concurrent use (the aligner already bounds probe
+// concurrency with its endpoint semaphores).
+type Prober struct {
+	ix     *Index
+	source endpoint.Endpoint
+
+	mu        sync.Mutex
+	probe     endpoint.PreparedQuery
+	qv        queryVec
+	keys      []uint64
+	sig       []uint64
+	cand      []int32
+	scores    map[int32]float64
+	sigScores map[int32]float64
+}
+
+// NewProber prepares the sampling probe for source-relation queries.
+func NewProber(ix *Index, source endpoint.Endpoint) (*Prober, error) {
+	probe, err := source.Prepare(sampling.TmplSample, "r", "n")
+	if err != nil {
+		return nil, fmt.Errorf("candidates: preparing source probe against %s: %w", source.Name(), err)
+	}
+	return &Prober{
+		ix:        ix,
+		source:    source,
+		probe:     probe,
+		sig:       make([]uint64, ix.opt.Hashes),
+		scores:    make(map[int32]float64),
+		sigScores: make(map[int32]float64),
+	}, nil
+}
+
+// TopK returns the top-k candidate target relations for source relation
+// rel, ranked by the blended name+signature score (ties broken by
+// relation IRI). Cost is sub-linear in the inventory: only posting
+// lists of the query's grams and LSH band buckets of the query's
+// signature are touched. The signature channel is gated by the pool:
+// a relation that collides with the query in some band gets its exact
+// key-set Jaccard (bitwise equal to ExactTopK's); a relation that
+// shares name grams but misses every band keeps a zero signature
+// component — computing Jaccards for every gram-sharing relation
+// would make the probe linear in the inventory on stem-heavy
+// namespaces. Name cosines match ExactTopK bitwise, so the LSH band
+// selection is the only approximation, and the experiments measure it
+// as candidate recall. Ordering is deterministic.
+func (p *Prober) TopK(rel string, k int) ([]Candidate, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	qv, qkeys, qsig, err := p.queryState(rel)
+	if err != nil {
+		return nil, err
+	}
+
+	for id := range p.scores {
+		delete(p.scores, id)
+	}
+	p.ix.name.accumulate(qv, p.scores)
+
+	for id := range p.sigScores {
+		delete(p.sigScores, id)
+	}
+	if len(qkeys) > 0 {
+		p.cand = p.ix.sig.candidates(qsig, p.cand[:0])
+		for _, id := range p.cand {
+			p.sigScores[id] = p.ix.sig.exactJaccard(qkeys, id)
+		}
+	}
+
+	out := make([]Candidate, 0, len(p.scores)+len(p.sigScores))
+	for id, name := range p.scores {
+		sig := p.sigScores[id]
+		out = append(out, Candidate{
+			Rel:   p.ix.rels[id],
+			Score: p.ix.opt.NameWeight*name + p.ix.opt.SigWeight*sig,
+			Name:  name,
+			Sig:   sig,
+		})
+	}
+	for id, sig := range p.sigScores {
+		if _, ok := p.scores[id]; ok {
+			continue
+		}
+		out = append(out, Candidate{
+			Rel:   p.ix.rels[id],
+			Score: p.ix.opt.SigWeight * sig,
+			Sig:   sig,
+		})
+	}
+	rankAndTrim(&out, k)
+	return out, nil
+}
+
+// ExactTopK is the all-pairs reference: every indexed relation is
+// scored with the exact name cosine and the exact Jaccard over the full
+// sampled key sets. Its name scores are bitwise identical to TopK's;
+// the signature side is what TopK's minhash estimates approximate. Cost
+// is linear in the inventory — the differential experiments use it as
+// the unpruned baseline and recall reference.
+func (p *Prober) ExactTopK(rel string, k int) ([]Candidate, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	qv, qkeys, _, err := p.queryState(rel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, 0, p.ix.Len())
+	for id := int32(0); id < int32(p.ix.Len()); id++ {
+		name := p.ix.name.exactScore(qv, id)
+		sig := p.ix.sig.exactJaccard(qkeys, id)
+		out = append(out, Candidate{
+			Rel:   p.ix.rels[id],
+			Score: p.ix.opt.NameWeight*name + p.ix.opt.SigWeight*sig,
+			Name:  name,
+			Sig:   sig,
+		})
+	}
+	rankAndTrim(&out, k)
+	return out, nil
+}
+
+// queryState samples rel from the source endpoint and derives the
+// query-side scoring state: name vector, signature keys, minhash
+// signature. Callers hold p.mu.
+func (p *Prober) queryState(rel string) (*queryVec, []uint64, []uint64, error) {
+	prof := profileOf(rel, p.ix.opt.GramN)
+	p.ix.name.queryVector(prof, &p.qv)
+	var err error
+	p.keys, err = sampleQueryKeys(p.keys[:0], p.probe, rel, p.ix.opt.SampleSize)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("candidates: sampling query <%s>: %w", rel, err)
+	}
+	if len(p.keys) > 0 {
+		minhash(p.sig, p.keys, p.ix.sig.seed)
+	}
+	return &p.qv, p.keys, p.sig, nil
+}
+
+// rankAndTrim orders candidates by (score desc, rel asc), drops
+// zero-score rows, and truncates to k (k <= 0 keeps all scored rows).
+// When the scored row count dwarfs k, a bounded min-heap selects the
+// survivors in O(n log k) before the final O(k log k) sort — the
+// relation IRI tiebreak makes the order strict and total, so the
+// selected set (and therefore the output) is identical to a full sort.
+func rankAndTrim(out *[]Candidate, k int) {
+	rows := *out
+	w := 0
+	for _, c := range rows {
+		if c.Score > 0 {
+			rows[w] = c
+			w++
+		}
+	}
+	rows = rows[:w]
+	if k > 0 && len(rows) > 4*k {
+		rows = selectTopK(rows, k)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return outranks(rows[i], rows[j])
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	*out = rows
+}
+
+// outranks is the strict total candidate order: score descending,
+// relation IRI ascending (IRIs are unique, so no ties remain).
+func outranks(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Rel < b.Rel
+}
+
+// selectTopK keeps the k best rows (in unspecified order) via a
+// min-heap over the prefix whose root is the worst kept row.
+func selectTopK(rows []Candidate, k int) []Candidate {
+	h := rows[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftWorstDown(h, i)
+	}
+	for _, c := range rows[k:] {
+		if outranks(c, h[0]) {
+			h[0] = c
+			siftWorstDown(h, 0)
+		}
+	}
+	return h
+}
+
+// siftWorstDown restores the heap property at i: every parent is
+// outranked by (worse than) its children.
+func siftWorstDown(h []Candidate, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && outranks(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && outranks(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
+	"sofya/internal/candidates"
 	"sofya/internal/endpoint"
 	"sofya/internal/ilp"
 	"sofya/internal/rdf"
@@ -92,6 +94,13 @@ type Aligner struct {
 	// swapped); built once so its prepared probes are shared by every
 	// equivalence check.
 	flipped *sampling.Validator
+
+	// candidate-generation index (Config.CandidateTopK > 0), built
+	// lazily on first alignment so aligners that never align do not pay
+	// the per-target-relation sampling pass.
+	candOnce   sync.Once
+	candErr    error
+	candProber *candidates.Prober
 }
 
 // New builds an aligner from the head-side endpoint k (the KB whose
@@ -164,10 +173,24 @@ type candidate struct {
 // collected by index, so the output is identical to the sequential run
 // for deterministic endpoints.
 func (a *Aligner) AlignRelation(r string) ([]Alignment, error) {
+	allowed, err := a.prune(r)
+	if err != nil {
+		return nil, err
+	}
+	return a.AlignRelationWithin(r, allowed)
+}
+
+// AlignRelationWithin is AlignRelation with an injected candidate
+// universe: only target relations in allowed survive discovery (nil
+// means unrestricted). The experiments' differential harness uses it to
+// run the alignment pipeline over an externally computed candidate set;
+// AlignRelation itself passes the candidate index's top-k when
+// Config.CandidateTopK is on.
+func (a *Aligner) AlignRelationWithin(r string, allowed map[string]bool) ([]Alignment, error) {
 	if a.prepErr != nil {
 		return nil, a.prepErr
 	}
-	cands, err := a.discover(r)
+	cands, err := a.discover(r, allowed)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +333,56 @@ func (a *Aligner) discoverProbes(r string, window int) ([]discoveryProbe, error)
 // probes then fan out over the worker pool; hit counts merge
 // commutatively, so the result is independent of probe completion
 // order.
-func (a *Aligner) discover(r string) ([]*candidate, error) {
+// ensureCandidates builds the candidate index over the target
+// inventory, once per aligner. The build's per-relation sampling runs
+// under the admission gate like any endpoint-bound stage.
+func (a *Aligner) ensureCandidates() (*candidates.Prober, error) {
+	a.candOnce.Do(func() {
+		a.sem <- struct{}{}
+		defer func() { <-a.sem }()
+		rels, err := candidates.Relations(a.val.KPrime)
+		if err != nil {
+			a.candErr = err
+			return
+		}
+		ix, err := candidates.Build(a.val.KPrime, rels, a.val.Links, candidates.Options{
+			SampleSize: a.cfg.CandidateSampleSize,
+		})
+		if err != nil {
+			a.candErr = err
+			return
+		}
+		a.candProber, a.candErr = candidates.NewProber(ix, a.val.K)
+	})
+	return a.candProber, a.candErr
+}
+
+// prune computes the allowed candidate set for r from the candidate
+// index — or nil (no restriction) when pruning is off.
+func (a *Aligner) prune(r string) (map[string]bool, error) {
+	if a.cfg.CandidateTopK <= 0 {
+		return nil, nil
+	}
+	prober, err := a.ensureCandidates()
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate index: %w", err)
+	}
+	a.sem <- struct{}{}
+	top, err := prober.TopK(r, a.cfg.CandidateTopK)
+	<-a.sem
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate probe for <%s>: %w", r, err)
+	}
+	allowed := make(map[string]bool, len(top))
+	for _, c := range top {
+		allowed[c.Rel] = true
+	}
+	a.tracef("candidates: top-%d pruned universe for %s holds %d relations",
+		a.cfg.CandidateTopK, r, len(allowed))
+	return allowed, nil
+}
+
+func (a *Aligner) discover(r string, allowed map[string]bool) ([]*candidate, error) {
 	window := a.cfg.FetchWindow
 	if window <= 0 {
 		window = 40 * a.cfg.DiscoverySize
@@ -355,6 +427,9 @@ func (a *Aligner) discover(r string) ([]*candidate, error) {
 	hits := map[string]int{}
 	for _, h := range partial {
 		for rel, n := range h {
+			if allowed != nil && !allowed[rel] {
+				continue
+			}
 			hits[rel] += n
 		}
 	}

@@ -71,6 +71,20 @@ type Config struct {
 	// setting changes deployment shape, never results.
 	Shards int
 
+	// CandidateTopK enables candidate-generation pruning: before
+	// discovery, the aligner consults a lazily built
+	// candidates.Index over the target inventory and restricts each
+	// relation's candidate set to the index's top-k (internal/candidates:
+	// trigram name index + minhash/LSH instance signatures). 0 disables
+	// pruning — exact mode, where every co-occurring predicate stays a
+	// candidate and output is byte-identical to builds without the
+	// feature. The index costs one sampling query per target relation,
+	// paid once per aligner on first use.
+	CandidateTopK int
+	// CandidateSampleSize is the per-relation signature sample size for
+	// the candidate index; 0 uses the index default.
+	CandidateSampleSize int
+
 	// UseUBS enables Unbiased Sample Extraction.
 	UseUBS bool
 	// UBSSampleSize is the number of overlap subjects examined per

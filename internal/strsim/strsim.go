@@ -198,33 +198,22 @@ func JaccardTokens(a, b string) float64 {
 }
 
 // NGramDice computes the Dice coefficient over character n-grams
-// (n ≥ 1). Strings shorter than n compare by equality.
+// (n ≥ 1). Strings shorter than n compare by equality. The per-string
+// gram multisets are memoized (ProfileOf), so repeated comparisons
+// against the same strings — the aligner scores each literal against
+// many candidates — skip gram extraction entirely.
 func NGramDice(a, b string, n int) float64 {
 	if n < 1 {
 		n = 2
 	}
-	ga, gb := ngrams(a, n), ngrams(b, n)
-	if len(ga) == 0 && len(gb) == 0 {
+	pa, pb := ProfileOf(a, n), ProfileOf(b, n)
+	if pa.Total == 0 && pb.Total == 0 {
 		if a == b {
 			return 1
 		}
 		return 0
 	}
-	if len(ga) == 0 || len(gb) == 0 {
-		return 0
-	}
-	counts := make(map[string]int, len(ga))
-	for _, g := range ga {
-		counts[g]++
-	}
-	common := 0
-	for _, g := range gb {
-		if counts[g] > 0 {
-			counts[g]--
-			common++
-		}
-	}
-	return 2 * float64(common) / float64(len(ga)+len(gb))
+	return pa.Dice(pb)
 }
 
 func ngrams(s string, n int) []string {

@@ -146,6 +146,36 @@ func DefaultSpec() Spec {
 	}
 }
 
+// ScaleSpec sizes a candidate-pruning stress world: n target (DBpedia)
+// relations — overwhelmingly long-tail noise properties, which is what
+// a production property namespace looks like — against a few hundred
+// source (YAGO) relations. Fact counts per relation stay small so a
+// 10⁵–10⁶-relation world generates in seconds and fits in memory; the
+// point of these worlds is relation-count asymptotics (candidate
+// generation must be sub-linear in n), not per-relation statistics.
+// Literal and confounder machinery is disabled: both are per-relation
+// phenomena already covered by the paper-scale specs, and disabling
+// them keeps generation O(n).
+func ScaleSpec(n int) Spec {
+	s := DefaultSpec()
+	s.Seed = 4242
+	s.Persons, s.Works, s.Places, s.Orgs = 1500, 1000, 400, 300
+	s.YagoRelations = 200
+	if n < 2*s.YagoRelations {
+		s.YagoRelations = n / 2
+	}
+	s.DbpRelations = n
+	s.LiteralFraction = 0
+	s.ConfounderFraction = 0
+	s.SpecializationFraction = 0.25
+	s.MaxSpecializations = 3
+	s.BaseFacts = 24
+	s.NoiseFactsMax = 5
+	s.VariantFraction = 0.3
+	s.MaxVariantsPerRelation = 1
+	return s
+}
+
 // TinySpec is a fast small world for unit tests: 14 YAGO relations, 48
 // DBpedia relations, a few hundred entities.
 func TinySpec() Spec {

@@ -87,6 +87,14 @@ type generator struct {
 	pools    [numClasses][]string // display names per class
 	families []*family
 
+	// usedRel holds every relation IRI handed out so far. Derived names
+	// are not injective — dbpVariantName("actedIn1", 20) and
+	// dbpVariantName("actedIn12", 0) both render "actedIn120" — and the
+	// KB would silently merge the colliding relations while the report
+	// and gold truth still listed both names. Every relation IRI must
+	// pass through reserveRel.
+	usedRel map[string]bool
+
 	// clean dbp facts buffered during emission, feeding variant
 	// relations: relation IRI → emitted (subject, object) pool indexes.
 	dbpEmitted    map[string][]factPair
@@ -99,8 +107,9 @@ type generator struct {
 // the spec (including the seed).
 func Generate(spec Spec) *World {
 	g := &generator{
-		spec: spec,
-		rng:  rand.New(rand.NewSource(spec.Seed)),
+		spec:    spec,
+		rng:     rand.New(rand.NewSource(spec.Seed)),
+		usedRel: make(map[string]bool),
 		world: &World{
 			Yago:  kb.New("yago"),
 			Dbp:   kb.New("dbpedia"),
@@ -148,38 +157,42 @@ func (g *generator) buildFlagshipFamilies() {
 
 	// wasBornIn ≡ birthPlace: the paper's introduction example.
 	born := add(&family{verb: "birthPlace", dom: clPerson, ran: clPlace, functional: true})
-	born.yagoRel = yagoNS + "wasBornIn"
-	born.dbpRels = []string{dbpNS + "birthPlace"}
+	born.yagoRel = g.reserveRel(yagoNS + "wasBornIn")
+	born.dbpRels = []string{g.reserveRel(dbpNS + "birthPlace")}
 
 	// created ⊐ {composerOf, writerOf, directorOf}: §2.2 example 1
 	// (subsumptions that are not equivalences).
 	created := add(&family{verb: "created", dom: clPerson, ran: clWork, functional: false, fanout: 3})
-	created.yagoRel = yagoNS + "created"
-	created.dbpRels = []string{dbpNS + "composerOf", dbpNS + "writerOf", dbpNS + "directorOf"}
+	created.yagoRel = g.reserveRel(yagoNS + "created")
+	created.dbpRels = []string{
+		g.reserveRel(dbpNS + "composerOf"),
+		g.reserveRel(dbpNS + "writerOf"),
+		g.reserveRel(dbpNS + "directorOf"),
+	}
 	created.split = true
 
 	// directedBy ≡ hasDirector, with producedBy ≡ hasProducer as its
 	// correlated confounder: §2.2 example 2 (overlaps that are not
 	// subsumptions).
 	directed := add(&family{verb: "directedBy", dom: clWork, ran: clPerson, functional: true})
-	directed.yagoRel = yagoNS + "directedBy"
-	directed.dbpRels = []string{dbpNS + "hasDirector"}
+	directed.yagoRel = g.reserveRel(yagoNS + "directedBy")
+	directed.dbpRels = []string{g.reserveRel(dbpNS + "hasDirector")}
 
 	produced := add(&family{verb: "producedBy", dom: clWork, ran: clPerson, functional: true})
-	produced.yagoRel = yagoNS + "producedBy"
-	produced.dbpRels = []string{dbpNS + "hasProducer"}
+	produced.yagoRel = g.reserveRel(yagoNS + "producedBy")
+	produced.dbpRels = []string{g.reserveRel(dbpNS + "hasProducer")}
 	produced.confOf = directed.idx
 	produced.corr = 0.72
 
 	// label: entity–literal with formatting heterogeneity.
 	label := add(&family{verb: "label", dom: clPerson, lit: litLabel, functional: true})
-	label.yagoRel = yagoNS + "hasPreferredName"
-	label.dbpRels = []string{dbpNS + "name"}
+	label.yagoRel = g.reserveRel(yagoNS + "hasPreferredName")
+	label.dbpRels = []string{g.reserveRel(dbpNS + "name")}
 
 	// birth date: gYear (YAGO) vs full xsd:date (DBpedia).
 	bdate := add(&family{verb: "birthDate", dom: clPerson, lit: litYear, functional: true})
-	bdate.yagoRel = yagoNS + "wasBornOnDate"
-	bdate.dbpRels = []string{dbpNS + "birthDate"}
+	bdate.yagoRel = g.reserveRel(yagoNS + "wasBornOnDate")
+	bdate.dbpRels = []string{g.reserveRel(dbpNS + "birthDate")}
 }
 
 func (g *generator) buildAutoFamilies() {
@@ -206,7 +219,7 @@ func (g *generator) buildAutoFamilies() {
 				f.fanout = 2 + g.rng.Intn(3)
 			}
 		}
-		f.yagoRel = yagoNS + yagoStyleName(f.verb, g.rng)
+		f.yagoRel = g.reserveRel(yagoNS + yagoStyleName(f.verb, g.rng))
 
 		// confounder? requires a compatible earlier entity-entity family
 		if f.lit == litNone && g.rng.Float64() < g.spec.ConfounderFraction {
@@ -225,7 +238,7 @@ func (g *generator) buildAutoFamilies() {
 			k := 2 + g.rng.Intn(g.spec.MaxSpecializations-1)
 			f.split = true
 			for j := 0; j < k; j++ {
-				f.dbpRels = append(f.dbpRels, dbpNS+dbpVariantName(f.verb, j, g.rng))
+				f.dbpRels = append(f.dbpRels, g.reserveRel(dbpNS+dbpVariantName(f.verb, j, g.rng)))
 			}
 			// specializations of functional relations split by object,
 			// which requires fanout ≥ 2 for UBS overlap subjects to
@@ -235,7 +248,7 @@ func (g *generator) buildAutoFamilies() {
 				f.fanout = 2
 			}
 		} else {
-			f.dbpRels = []string{dbpNS + dbpVariantName(f.verb, 0, g.rng)}
+			f.dbpRels = []string{g.reserveRel(dbpNS + dbpVariantName(f.verb, 0, g.rng))}
 		}
 		g.families = append(g.families, f)
 	}
@@ -477,7 +490,7 @@ func (g *generator) emitVariants() {
 				g.rng.Float64()*(g.spec.VariantAgreement[1]-g.spec.VariantAgreement[0])
 			cov := g.spec.VariantSubjectCoverage[0] +
 				g.rng.Float64()*(g.spec.VariantSubjectCoverage[1]-g.spec.VariantSubjectCoverage[0])
-			vrel := rdf.NewIRI(fmt.Sprintf("%sRaw%d", rel, v))
+			vrel := rdf.NewIRI(g.reserveRel(fmt.Sprintf("%sRaw%d", rel, v)))
 			keep := map[int]bool{}
 			added := 0
 			for _, fp := range g.dbpEmitted[rel] {
@@ -531,8 +544,8 @@ func (g *generator) emitNoiseRelations() {
 	}
 	need := g.spec.DbpRelations - have
 	for i := 0; i < need; i++ {
-		rel := rdf.NewIRI(fmt.Sprintf("%sinfobox%s%d", dbpNS,
-			relVerbs[g.rng.Intn(len(relVerbs))], i))
+		rel := rdf.NewIRI(g.reserveRel(fmt.Sprintf("%sinfobox%s%d", dbpNS,
+			relVerbs[g.rng.Intn(len(relVerbs))], i)))
 		n := 2 + g.rng.Intn(g.spec.NoiseFactsMax-1)
 		dom := class(g.rng.Intn(int(numClasses)))
 		for j := 0; j < n; j++ {
@@ -609,6 +622,24 @@ func (g *generator) finishReport() {
 	sort.Strings(r.DbpRelations)
 	r.YagoFacts = g.world.Yago.Size()
 	r.DbpFacts = g.world.Dbp.Size()
+}
+
+// reserveRel claims a relation IRI, disambiguating collisions with a
+// deterministic _v2, _v3, ... suffix. It draws no randomness, so worlds
+// whose derived names never collide generate byte-identically to the
+// unguarded generator.
+func (g *generator) reserveRel(iri string) string {
+	if !g.usedRel[iri] {
+		g.usedRel[iri] = true
+		return iri
+	}
+	for i := 2; ; i++ {
+		c := fmt.Sprintf("%s_v%d", iri, i)
+		if !g.usedRel[c] {
+			g.usedRel[c] = true
+			return c
+		}
+	}
 }
 
 func underscored(s string) string {
