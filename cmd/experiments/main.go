@@ -5,6 +5,7 @@
 //	experiments -spec paper -e all
 //	experiments -spec tiny -e table1,e4 -md
 //	experiments -e candidates -candsizes 2000,20000,100000 -topk 16
+//	experiments -e e9 -capn 20000 -caps 0,16,64,256
 //
 // With -world, the evaluation world is loaded from a directory written
 // by cmd/kbgen instead of being regenerated; when the directory holds
@@ -36,9 +37,11 @@ func main() {
 	var (
 		specName   = flag.String("spec", "paper", "world size: tiny | paper")
 		worldDir   = flag.String("world", "", "load the world from this kbgen output directory (snapshots used when present) instead of generating it")
-		which      = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7 (candidates runs only when named: it generates its own scale worlds)")
+		which      = flag.String("e", "all", "comma-separated experiments: table1,e2,e3,e4,e5,e6,e7 (candidates and e9 run only when named: they generate their own scale worlds)")
 		candSizes  = flag.String("candsizes", "2000,20000,100000", "target inventory sizes for the candidates asymptotics sweep")
-		topk       = flag.Int("topk", 16, "candidate top-k for the candidates experiment")
+		topk       = flag.Int("topk", 16, "candidate top-k for the candidates and e9 experiments")
+		caps       = flag.String("caps", "0,16,64,256", "posting caps for the e9 truncation sweep (0 = uncapped)")
+		capN       = flag.Int("capn", 20000, "target inventory size for the e9 truncation sweep")
 		markdown   = flag.Bool("md", false, "emit markdown tables")
 		parallel   = flag.Int("parallel", 0, "aligner worker bound per run (0 = GOMAXPROCS; results are identical at any setting)")
 		shards     = flag.Int("shards", 1, "serve each KB as this many subject-hash shards behind a federating group (alignment output is identical at any setting; the E4 query/row accounting reflects the per-shard fan-out)")
@@ -157,6 +160,17 @@ func main() {
 		emit(fmt.Sprintf("E8 — pruned vs exact alignment differential (n=%d, top-%d)", diffN, *topk),
 			experiments.RenderDifferential(diff))
 	}
+	// E9 likewise generates its own ScaleSpec world and runs only when
+	// named: it sweeps the posting cap (-caps) over a -capn inventory,
+	// scoring capped probes against the exact reference.
+	if want["e9"] {
+		capList, err := parseCaps(*caps)
+		check(err)
+		points, err := experiments.PostingCapSweep(*capN, capList, *topk)
+		check(err)
+		emit(fmt.Sprintf("E9 — posting-cap truncation (n=%d, top-%d)", *capN, *topk),
+			experiments.RenderPostingCap(points))
+	}
 	fmt.Fprintf(os.Stderr, "# total time %s\n", time.Since(start).Round(time.Millisecond))
 }
 
@@ -170,6 +184,18 @@ func parseSizes(csv string) ([]int, error) {
 		sizes = append(sizes, n)
 	}
 	return sizes, nil
+}
+
+func parseCaps(csv string) ([]int, error) {
+	var caps []int
+	for _, s := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -caps entry %q", s)
+		}
+		caps = append(caps, n)
+	}
+	return caps, nil
 }
 
 func check(err error) {

@@ -14,6 +14,20 @@
 //	sparqld -snapshot './world/yago-shard-*-of-3.snap'
 //	experiments -world ./world -e table1
 //
+// With -candidates, a candidate-index sidecar (<kb>-candidates.idx) is
+// additionally written for each alignment direction, so cmd/sofya
+// -candidates -candidx skips the per-relation sampling pass on start
+// the same way snapshots skip the N-Triples parse:
+//
+//	kbgen -spec paper -out ./world -snapshot -candidates
+//	sofya -k world/yago.snap -kprime world/dbpedia.snap -links world/links.tsv \
+//	      -all -candidates -candidx world/dbpedia-candidates.idx
+//
+// The sidecar is fingerprinted against the target inventory and index
+// options; consumers fall back to a fresh build when it is stale. It is
+// sampled through endpoint seed 2 — cmd/sofya's K' default — so the
+// loaded index is the one sofya would have built.
+//
 // Shard N-Triples files need the <name>-planstats.tsv sidecar to plan
 // like the whole KB (kb.ReadPlanStatsFile + KB.SetPlanStats); shard
 // snapshots embed those statistics and are self-contained.
@@ -23,7 +37,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"sofya/internal/candidates"
+	"sofya/internal/endpoint"
+	"sofya/internal/kb"
+	"sofya/internal/sampling"
 	"sofya/internal/synth"
 )
 
@@ -34,8 +53,15 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override the spec's seed (0 keeps default)")
 		shards   = flag.Int("shards", 1, "additionally write each KB partitioned into this many subject-hash shard files (kb-shard-i-of-n.nt)")
 		snapshot = flag.Bool("snapshot", false, "also write binary KB snapshots (*.snap) loadable by mmap, including per-shard snapshots with -shards")
+		cands    = flag.Bool("candidates", false, "also write candidate-index sidecars (<kb>-candidates.idx) for both alignment directions, loadable by sofya -candidx")
+		parallel = flag.Int("parallel", 0, "sampling fan-out for -candidates index builds (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "kbgen:", err)
+		os.Exit(1)
+	}
 
 	spec := synth.TinySpec()
 	if *specName == "paper" {
@@ -47,11 +73,49 @@ func main() {
 	w := synth.Generate(spec)
 
 	if err := synth.SaveWorld(w, *out, synth.SaveOptions{Snapshots: *snapshot, Shards: *shards}); err != nil {
-		fmt.Fprintln(os.Stderr, "kbgen:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if *cands {
+		// One sidecar per alignment direction: the index is over the
+		// body-side (target) inventory, translated through the links as
+		// that direction's aligner will sample it.
+		for _, dir := range []struct {
+			target *kb.KB
+			links  sampling.LinkView
+		}{
+			{w.Dbp, sampling.LinkView{Links: w.Links, KIsA: true}},   // yago ⇐ dbpedia (sofya d2y)
+			{w.Yago, sampling.LinkView{Links: w.Links, KIsA: false}}, // dbpedia ⇐ yago (sofya y2d)
+		} {
+			path, err := writeCandidateIndex(*out, dir.target, dir.links, *parallel)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 	fmt.Printf("wrote %s: yago %d facts / %d relations, dbpedia %d facts / %d relations, %d links, %d gold pairs\n",
 		*out, w.Report.YagoFacts, len(w.Report.YagoRelations),
 		w.Report.DbpFacts, len(w.Report.DbpRelations),
 		w.Report.SameAsLinks, len(w.Truth.DbpToYago)+len(w.Truth.YagoToDbp))
+}
+
+// writeCandidateIndex builds the candidate index over target (sampling
+// through endpoint seed 2, cmd/sofya's K'-side default, so the sidecar
+// reproduces the index sofya would build) and writes it atomically as
+// <out>/<kbname>-candidates.idx.
+func writeCandidateIndex(out string, target *kb.KB, links sampling.LinkView, parallel int) (string, error) {
+	ep := endpoint.NewLocal(target, 2)
+	rels, err := candidates.Relations(ep)
+	if err != nil {
+		return "", err
+	}
+	ix, err := candidates.Build(ep, rels, links, candidates.Options{Parallelism: parallel})
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(out, target.Name()+"-candidates.idx")
+	if err := ix.WriteIndexFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
 }

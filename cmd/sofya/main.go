@@ -26,7 +26,13 @@
 // With -candidates, each relation's candidate universe is pruned to the
 // candidate index's top-k (-topk) before validation — the sub-linear
 // path for large target inventories. Without it the aligner runs in
-// exact mode, byte-identical to builds predating the index.
+// exact mode, byte-identical to builds predating the index. -candidx
+// points the aligner at a candidate-index sidecar written by kbgen
+// -candidates: when its fingerprint matches the target inventory and
+// options the index is restored without any sampling, and a missing,
+// corrupt or stale sidecar falls back to a fresh build. -maxpostings
+// caps the index's per-gram posting lists (experiment E9 measures the
+// recall cost).
 package main
 
 import (
@@ -61,6 +67,8 @@ func main() {
 		batch     = flag.Bool("batch", false, "align relations concurrently over shared caching+coalescing endpoints")
 		cands     = flag.Bool("candidates", false, "prune each relation's candidate universe to the candidate index's top-k (internal/candidates); off = exact mode")
 		topk      = flag.Int("topk", 16, "candidate top-k when -candidates is set")
+		candidx   = flag.String("candidx", "", "candidate-index sidecar (kbgen -candidates); loaded instead of sampling when its fingerprint matches, rebuilt otherwise")
+		maxpost   = flag.Int("maxpostings", 0, "cap candidate-index posting lists at this many relations per gram (0 = uncapped; recall cost measured by experiment E9)")
 		verbose   = flag.Bool("v", false, "trace aligner decisions")
 		rejected  = flag.Bool("rejected", false, "also print rejected candidates")
 	)
@@ -72,6 +80,8 @@ func main() {
 	cfg.Shards = *shards
 	if *cands {
 		cfg.CandidateTopK = *topk
+		cfg.CandidateIndexPath = *candidx
+		cfg.CandidateMaxPostings = *maxpost
 	}
 	if *verbose {
 		cfg.Trace = func(format string, args ...any) {

@@ -13,19 +13,28 @@
 //	sparqld -snapshot world/yago.snap
 //	sparqld -snapshot 'world/yago-shard-*-of-3.snap'
 //
+// The server enforces read-header and idle timeouts (a stalled client
+// cannot pin a connection forever) and drains in-flight queries on
+// SIGINT/SIGTERM before exiting.
+//
 // Query it with curl:
 //
 //	curl --data-urlencode 'query=SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5' http://localhost:8890/
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"sofya/internal/endpoint"
 	"sofya/internal/kb"
@@ -44,6 +53,7 @@ func main() {
 		maxRows    = flag.Int("max-rows", 10000, "row cap per SELECT (0 = unlimited)")
 		seed       = flag.Int64("seed", 1, "RAND() seed")
 		shards     = flag.Int("shards", 1, "serve the KB as this many subject-hash shards behind a federating group")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -53,13 +63,14 @@ func main() {
 	}
 	quota := endpoint.Quota{MaxQueries: *maxQueries, MaxRows: *maxRows}
 
-	var (
-		base *kb.KB
-		err  error
-	)
+	var serve endpoint.Endpoint
+	var base *kb.KB
 	switch {
 	case *snapshot != "":
-		paths := snapshotPaths(*snapshot)
+		paths, err := snapshotPaths(*snapshot)
+		if err != nil {
+			fatal(err)
+		}
 		if len(paths) == 0 {
 			fatal(fmt.Errorf("-snapshot %q matches no files", *snapshot))
 		}
@@ -71,9 +82,9 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			serve = g
 			log.Printf("sparqld: serving %q from %d mapped shard snapshot(s) on %s", g.Name(), len(paths), *addr)
-			log.Fatal(http.ListenAndServe(*addr, endpoint.NewServerEndpoint(g)))
-			return
+			break
 		}
 		if base, err = kb.OpenSnapshot(paths[0]); err != nil {
 			fatal(err)
@@ -94,6 +105,7 @@ func main() {
 			base = w.Dbp
 		}
 	case *kbPath != "":
+		var err error
 		if base, err = kb.LoadFile("kb", *kbPath); err != nil {
 			fatal(err)
 		}
@@ -102,31 +114,74 @@ func main() {
 		os.Exit(2)
 	}
 
-	var serve endpoint.Endpoint
-	if *shards > 1 {
-		serve = shard.PartitionedRestricted(base, *shards, *seed, quota)
-	} else {
-		serve = endpoint.NewLocalRestricted(base, *seed, quota)
+	if serve == nil {
+		if *shards > 1 {
+			serve = shard.PartitionedRestricted(base, *shards, *seed, quota)
+		} else {
+			serve = endpoint.NewLocalRestricted(base, *seed, quota)
+		}
+		log.Printf("sparqld: serving %q (%d facts, %d relations, %d shard(s), mmap=%v) on %s",
+			base.Name(), base.Size(), len(base.Relations()), *shards, base.Mapped(), *addr)
 	}
-	log.Printf("sparqld: serving %q (%d facts, %d relations, %d shard(s), mmap=%v) on %s",
-		base.Name(), base.Size(), len(base.Relations()), *shards, base.Mapped(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, endpoint.NewServerEndpoint(serve)))
+	if err := serveHTTP(*addr, endpoint.NewServerEndpoint(serve), *drain); err != nil {
+		fatal(err)
+	}
+	log.Print("sparqld: shut down cleanly")
+}
+
+// serveHTTP runs handler on a configured http.Server — read-header and
+// idle timeouts instead of the bare ListenAndServe defaults — and
+// drains in-flight requests for up to the drain window when SIGINT or
+// SIGTERM arrives, force-closing whatever remains after it.
+func serveHTTP(addr string, handler http.Handler, drain time.Duration) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("sparqld: %s received, draining for up to %s", s, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// Drain window elapsed with connections still open: close
+			// them rather than hang the restart.
+			err = errors.Join(err, srv.Close())
+		}
+		done <- err
+	}()
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
 }
 
 // snapshotPaths expands a -snapshot argument: comma-separated parts,
-// each a literal path or a glob pattern.
-func snapshotPaths(arg string) []string {
+// each a literal path or a glob pattern. A malformed pattern is an
+// error, not a literal path — the open failure it would turn into
+// later points at the wrong problem.
+func snapshotPaths(arg string) ([]string, error) {
 	var paths []string
 	for _, part := range strings.Split(arg, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
-		if matches, err := filepath.Glob(part); err == nil && len(matches) > 0 {
+		matches, err := filepath.Glob(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -snapshot pattern %q: %w", part, err)
+		}
+		if len(matches) > 0 {
 			paths = append(paths, matches...)
 			continue
 		}
 		paths = append(paths, part)
 	}
-	return paths
+	return paths, nil
 }

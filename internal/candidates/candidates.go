@@ -30,9 +30,14 @@
 package candidates
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"sofya/internal/endpoint"
 	"sofya/internal/sampling"
@@ -67,8 +72,24 @@ type Options struct {
 	// floored at 32 relations). Stop grams are dropped identically from
 	// the postings, the query vector, and the exact scorer.
 	MaxGramFrac float64
+	// MaxPostings caps the inverted posting list of any single gram:
+	// grams whose document frequency is below the stop-gram cutoff but
+	// above this cap keep only their MaxPostings highest-weight
+	// relations (ties broken by relation id). Unlike stop grams the
+	// truncated grams still contribute to the per-relation vectors, so
+	// the exact scorer is unaffected — truncation only narrows which
+	// relations the inverted probe can reach, and experiment E9
+	// measures that recall cost. 0 leaves posting lists uncapped.
+	MaxPostings int
 	// Seed perturbs the minhash functions (default 1).
 	Seed uint64
+
+	// Parallelism bounds the concurrent per-relation sampling probes of
+	// the build pass (0 = GOMAXPROCS, 1 = serial). Sample streams are
+	// seeded per query text, so the built index is byte-identical at
+	// every setting; Parallelism is a build-shape knob, not an index
+	// parameter, and is excluded from the fingerprint.
+	Parallelism int
 }
 
 func (o Options) normalized() Options {
@@ -95,6 +116,9 @@ func (o Options) normalized() Options {
 	if o.MaxGramFrac <= 0 {
 		o.MaxGramFrac = 0.10
 	}
+	if o.MaxPostings < 0 {
+		o.MaxPostings = 0
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -113,6 +137,10 @@ type Index struct {
 
 	name nameIndex
 	sig  sigIndex
+
+	// Posting-truncation accounting (Options.MaxPostings): how many
+	// grams lost entries and how many posting entries were dropped.
+	truncGrams, truncPostings int
 }
 
 // Relations returns the indexed inventory (sorted; do not mutate).
@@ -122,17 +150,52 @@ func (ix *Index) Relations() []string { return ix.rels }
 func (ix *Index) Len() int { return len(ix.rels) }
 
 // Options returns the (normalized) options the index was built with.
+// Parallelism is a build-shape knob, not an index parameter, and is
+// reported as zero.
 func (ix *Index) Options() Options { return ix.opt }
 
-// Build constructs the index over rels, sampling each relation's
+// Postings returns how many inverted posting entries the index holds
+// (after any Options.MaxPostings truncation).
+func (ix *Index) Postings() int { return len(ix.name.postRel) }
+
+// TruncationStats reports the posting-truncation accounting of the
+// build: how many grams had their posting list capped by
+// Options.MaxPostings and how many posting entries were dropped in
+// total. Both are zero for uncapped indexes.
+func (ix *Index) TruncationStats() (grams, dropped int) {
+	return ix.truncGrams, ix.truncPostings
+}
+
+// Build is BuildCtx without cancellation.
+func Build(target endpoint.Endpoint, rels []string, links Translator, opt Options) (*Index, error) {
+	return BuildCtx(context.Background(), target, rels, links, opt)
+}
+
+// BuildCtx constructs the index over rels, sampling each relation's
 // instance signature from the target endpoint. Entity terms are
 // translated into the source KB's namespace through links so that
 // signatures are comparable with source-side probes; facts whose
 // subject has no sameAs link contribute no subject key, mirroring the
 // validator's link filtering. Building issues one prepared sampling
-// query per relation.
-func Build(target endpoint.Endpoint, rels []string, links Translator, opt Options) (*Index, error) {
+// query per relation, fanned out over Options.Parallelism workers with
+// index-ordered collection: each relation's sample stream is seeded by
+// its own query text, so the built index is byte-identical to the
+// serial build at every parallelism.
+//
+// Cancelling ctx aborts the sampling pass; the ctx error is returned.
+// Failed relation probes do not abort the pass: every relation is
+// still attempted, and all failures are joined into one deterministic
+// error, ordered by relation IRI (lowest first), so operators see the
+// full blast radius of a misbehaving endpoint in a single report.
+func BuildCtx(ctx context.Context, target endpoint.Endpoint, rels []string, links Translator, opt Options) (*Index, error) {
 	opt = opt.normalized()
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The stored options describe the index content; the build shape
+	// does not (see Options.Parallelism).
+	opt.Parallelism = 0
 	ix := &Index{opt: opt, rels: append([]string(nil), rels...)}
 	sort.Strings(ix.rels)
 	ix.buildNameIndex()
@@ -141,14 +204,56 @@ func Build(target endpoint.Endpoint, rels []string, links Translator, opt Option
 	if err != nil {
 		return nil, fmt.Errorf("candidates: preparing sample probe against %s: %w", target.Name(), err)
 	}
-	keys := make([]uint64, 0, 2*opt.SampleSize)
 	sets := make([][]uint64, len(ix.rels))
-	for i, rel := range ix.rels {
-		keys, err = appendSampleKeys(keys[:0], probe, rel, opt.SampleSize, links)
-		if err != nil {
-			return nil, fmt.Errorf("candidates: sampling <%s>: %w", rel, err)
+	errs := make([]error, len(ix.rels))
+	if workers > len(ix.rels) {
+		workers = len(ix.rels)
+	}
+	if workers <= 1 {
+		keys := make([]uint64, 0, 2*opt.SampleSize)
+		for i, rel := range ix.rels {
+			if ctx.Err() != nil {
+				break
+			}
+			keys, errs[i] = appendSampleKeys(ctx, keys[:0], probe, rel, opt.SampleSize, links)
+			if errs[i] == nil {
+				sets[i] = append([]uint64(nil), keys...)
+			}
 		}
-		sets[i] = append([]uint64(nil), keys...)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				keys := make([]uint64, 0, 2*opt.SampleSize)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ix.rels) || ctx.Err() != nil {
+						return
+					}
+					keys, errs[i] = appendSampleKeys(ctx, keys[:0], probe, ix.rels[i], opt.SampleSize, links)
+					if errs[i] == nil {
+						sets[i] = append([]uint64(nil), keys...)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("candidates: build against %s aborted: %w", target.Name(), err)
+	}
+	var fails []error
+	for i, err := range errs {
+		if err != nil {
+			fails = append(fails, fmt.Errorf("<%s>: %w", ix.rels[i], err))
+		}
+	}
+	if len(fails) > 0 {
+		return nil, fmt.Errorf("candidates: sampling %d of %d relations against %s failed: %w",
+			len(fails), len(ix.rels), target.Name(), errors.Join(fails...))
 	}
 	ix.buildSigIndex(sets)
 	return ix, nil
@@ -157,8 +262,8 @@ func Build(target endpoint.Endpoint, rels []string, links Translator, opt Option
 // appendSampleKeys samples up to n facts of rel and appends their
 // signature keys: one key per linked subject, one per linked (or
 // literal) object. Keys are deduplicated, sorted.
-func appendSampleKeys(keys []uint64, probe endpoint.PreparedQuery, rel string, n int, links Translator) ([]uint64, error) {
-	res, err := probe.Select(sparql.IRIArg(rel), sparql.IntArg(n))
+func appendSampleKeys(ctx context.Context, keys []uint64, probe endpoint.PreparedQuery, rel string, n int, links Translator) ([]uint64, error) {
+	res, err := probe.SelectCtx(ctx, sparql.IRIArg(rel), sparql.IntArg(n))
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +295,7 @@ func (identityTranslator) ToK(s string) (string, bool) { return s, true }
 // sampleQueryKeys samples the query relation from its own endpoint; no
 // translation is needed.
 func sampleQueryKeys(keys []uint64, probe endpoint.PreparedQuery, rel string, n int) ([]uint64, error) {
-	return appendSampleKeys(keys, probe, rel, n, identityTranslator{})
+	return appendSampleKeys(context.Background(), keys, probe, rel, n, identityTranslator{})
 }
 
 // Relations lists the distinct relation IRIs of an endpoint, sorted —

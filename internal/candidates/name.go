@@ -37,24 +37,32 @@ type nameIndex struct {
 
 	// relVec is each relation's sorted (gram id, weight) vector over
 	// non-stop grams, CSR again — the exact scorer's operand.
-	relStart  []int32
-	relGram   []int32
-	relW      []float64
-	relProfs  []*strsim.Profile
-	relLocals []string
+	relStart []int32
+	relGram  []int32
+	relW     []float64
+}
+
+// stopCutoff is the stop-gram document-frequency cutoff for an
+// inventory of n relations: MaxGramFrac of the inventory, floored at
+// 32. Shared with the sidecar decoder, which cross-checks the stored
+// cutoff against it.
+func stopCutoff(n int, maxGramFrac float64) int32 {
+	cut := int32(float64(n) * maxGramFrac)
+	if cut < 32 {
+		cut = 32
+	}
+	return cut
 }
 
 // buildNameIndex derives the trigram index from ix.rels.
 func (ix *Index) buildNameIndex() {
 	n := &ix.name
 	N := len(ix.rels)
-	n.relProfs = make([]*strsim.Profile, N)
-	n.relLocals = make([]string, N)
+	relProfs := make([]*strsim.Profile, N)
 	gramID := map[string]int32{}
 	for i, rel := range ix.rels {
 		p := profileOf(rel, ix.opt.GramN)
-		n.relProfs[i] = p
-		n.relLocals[i] = LocalName(rel)
+		relProfs[i] = p
 		for _, g := range p.Grams {
 			if _, ok := gramID[g]; !ok {
 				gramID[g] = 0 // id assigned after sorting
@@ -71,16 +79,12 @@ func (ix *Index) buildNameIndex() {
 	}
 
 	n.df = make([]int32, len(n.grams))
-	for _, p := range n.relProfs {
+	for _, p := range relProfs {
 		for _, g := range p.Grams {
 			n.df[gramID[g]]++
 		}
 	}
-	cut := int32(float64(N) * ix.opt.MaxGramFrac)
-	if cut < 32 {
-		cut = 32
-	}
-	n.stopDF = cut
+	n.stopDF = stopCutoff(N, ix.opt.MaxGramFrac)
 	n.idf = make([]float64, len(n.grams))
 	for g, df := range n.df {
 		if df >= n.stopDF {
@@ -91,7 +95,7 @@ func (ix *Index) buildNameIndex() {
 
 	// Per-relation weight vectors over non-stop grams, L2-normalized.
 	n.relStart = make([]int32, N+1)
-	for i, p := range n.relProfs {
+	for i, p := range relProfs {
 		n.relStart[i+1] = n.relStart[i]
 		for _, g := range p.Grams {
 			if n.df[gramID[g]] < n.stopDF {
@@ -101,7 +105,7 @@ func (ix *Index) buildNameIndex() {
 	}
 	n.relGram = make([]int32, n.relStart[N])
 	n.relW = make([]float64, n.relStart[N])
-	for i, p := range n.relProfs {
+	for i, p := range relProfs {
 		at := n.relStart[i]
 		norm := 0.0
 		for j, g := range p.Grams {
@@ -146,6 +150,65 @@ func (ix *Index) buildNameIndex() {
 			fill[g]++
 		}
 	}
+
+	if ix.opt.MaxPostings > 0 {
+		ix.truncatePostings(ix.opt.MaxPostings)
+	}
+}
+
+// truncatePostings caps every gram's posting list at max entries,
+// keeping the highest-weight relations (ties broken by ascending
+// relation id) and preserving the ascending-id layout of the
+// survivors. Stem-heavy namespaces concentrate document frequency just
+// below the stop-gram cutoff — posting lists the stop filter keeps but
+// a probe still has to walk in full; the cap bounds that walk. The
+// per-relation vectors are untouched, so exactScore (and with it the
+// exact reference scorer) is unaffected; only the inverted probe's
+// reach narrows, which experiment E9 measures as candidate recall.
+func (ix *Index) truncatePostings(max int) {
+	n := &ix.name
+	type post struct {
+		rel int32
+		w   float64
+	}
+	var scratch []post
+	newStart := make([]int32, len(n.gramStart))
+	w := int32(0)
+	for g := 0; g < len(n.grams); g++ {
+		lo, hi := n.gramStart[g], n.gramStart[g+1]
+		newStart[g] = w
+		if int(hi-lo) <= max {
+			copy(n.postRel[w:], n.postRel[lo:hi])
+			copy(n.postW[w:], n.postW[lo:hi])
+			w += hi - lo
+			continue
+		}
+		scratch = scratch[:0]
+		for j := lo; j < hi; j++ {
+			scratch = append(scratch, post{n.postRel[j], n.postW[j]})
+		}
+		// Highest weight first; relation id breaks ties, so the kept
+		// set is deterministic.
+		sort.Slice(scratch, func(a, b int) bool {
+			if scratch[a].w != scratch[b].w {
+				return scratch[a].w > scratch[b].w
+			}
+			return scratch[a].rel < scratch[b].rel
+		})
+		kept := scratch[:max]
+		sort.Slice(kept, func(a, b int) bool { return kept[a].rel < kept[b].rel })
+		for _, p := range kept {
+			n.postRel[w] = p.rel
+			n.postW[w] = p.w
+			w++
+		}
+		ix.truncGrams++
+		ix.truncPostings += int(hi-lo) - max
+	}
+	newStart[len(n.grams)] = w
+	n.gramStart = newStart
+	n.postRel = append([]int32(nil), n.postRel[:w]...)
+	n.postW = append([]float64(nil), n.postW[:w]...)
 }
 
 // queryVec is a query's weight vector: parallel sorted gram ids and

@@ -333,20 +333,27 @@ func (a *Aligner) discoverProbes(r string, window int) ([]discoveryProbe, error)
 // probes then fan out over the worker pool; hit counts merge
 // commutatively, so the result is independent of probe completion
 // order.
-// ensureCandidates builds the candidate index over the target
-// inventory, once per aligner. The build's per-relation sampling runs
-// under the admission gate like any endpoint-bound stage.
+// ensureCandidates obtains the candidate index over the target
+// inventory, once per aligner: from Config.CandidateIndexCache when one
+// is shared (so co-targeted aligners resolve the index once), through a
+// private cache otherwise — the cache handles sidecar restore and the
+// build fallback either way. The resolution holds one admission-gate
+// slot like any endpoint-bound stage; a build fans its sampling out
+// over its own Config.Parallelism-bounded pool, which stands in for the
+// gate during this one-time pass.
 func (a *Aligner) ensureCandidates() (*candidates.Prober, error) {
 	a.candOnce.Do(func() {
 		a.sem <- struct{}{}
 		defer func() { <-a.sem }()
-		rels, err := candidates.Relations(a.val.KPrime)
-		if err != nil {
-			a.candErr = err
-			return
+		cache := a.cfg.CandidateIndexCache
+		if cache == nil {
+			cache = NewIndexCache()
+			cache.Trace = a.cfg.Trace
 		}
-		ix, err := candidates.Build(a.val.KPrime, rels, a.val.Links, candidates.Options{
-			SampleSize: a.cfg.CandidateSampleSize,
+		ix, err := cache.Get(context.Background(), a.val.KPrime, a.val.Links, a.cfg.CandidateIndexPath, candidates.Options{
+			SampleSize:  a.cfg.CandidateSampleSize,
+			MaxPostings: a.cfg.CandidateMaxPostings,
+			Parallelism: a.cfg.Parallelism,
 		})
 		if err != nil {
 			a.candErr = err

@@ -84,6 +84,25 @@ type Config struct {
 	// CandidateSampleSize is the per-relation signature sample size for
 	// the candidate index; 0 uses the index default.
 	CandidateSampleSize int
+	// CandidateMaxPostings caps the candidate index's per-gram posting
+	// lists (candidates.Options.MaxPostings): stem-heavy namespaces
+	// concentrate document frequency just below the stop-gram cutoff,
+	// and the cap bounds the probe's posting walk at a measured recall
+	// cost (experiment E9). 0 leaves posting lists uncapped.
+	CandidateMaxPostings int
+	// CandidateIndexPath names a candidate-index sidecar
+	// (candidates.WriteIndexFile, written by kbgen -candidates). When
+	// set, the aligner restores the index from it instead of sampling
+	// the target — if its fingerprint matches the target inventory and
+	// options; a missing, corrupt or stale sidecar falls back to a
+	// fresh build. Empty always builds.
+	CandidateIndexPath string
+	// CandidateIndexCache, when non-nil, shares candidate indexes
+	// across aligners: all aligners handed the same cache and pointed
+	// at the same target build (or load) the index once, singleflighted.
+	// nil gives the aligner a private cache — same code path, no
+	// sharing.
+	CandidateIndexCache *IndexCache
 
 	// UseUBS enables Unbiased Sample Extraction.
 	UseUBS bool

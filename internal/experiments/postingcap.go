@@ -1,0 +1,106 @@
+// Posting-cap experiment (E9): what df-capped posting truncation
+// (candidates.Options.MaxPostings) costs in candidate recall and buys
+// in probe latency. Stem-heavy namespaces concentrate document
+// frequency just below the stop-gram cutoff — posting lists the stop
+// filter keeps but every probe walks in full — and the cap bounds that
+// walk. Because truncation leaves the per-relation vectors (and with
+// them the exact scorer) untouched, the capped index measures its own
+// recall against an exact reference that does not drift with the cap.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sofya/internal/candidates"
+	"sofya/internal/endpoint"
+	"sofya/internal/eval"
+	"sofya/internal/sampling"
+	"sofya/internal/synth"
+)
+
+// PostingCapPoint is one cap setting of the E9 sweep over a fixed
+// ScaleSpec world.
+type PostingCapPoint struct {
+	// Relations is the indexed inventory size; Sources how many source
+	// relations were probed; Cap the MaxPostings setting (0 = uncapped).
+	Relations, Sources, Cap int
+	// Postings is the surviving inverted posting count; TruncGrams and
+	// Dropped are the truncation accounting (capped grams, dropped
+	// entries).
+	Postings, TruncGrams, Dropped int
+	// ProbePer is the mean pruned top-k probe latency per source.
+	ProbePer time.Duration
+	// SetRecall and MassRecall compare the capped probe's top-k with
+	// the exact top-k (which the cap cannot affect).
+	SetRecall, MassRecall float64
+}
+
+// PostingCapSweep builds the index over one ScaleSpec world with n
+// target relations at each posting cap, probing every source relation
+// with top-k and scoring the result against the exact reference. Caps
+// are measured in index order as given; include 0 first for the
+// uncapped baseline row.
+func PostingCapSweep(n int, caps []int, topk int) ([]PostingCapPoint, error) {
+	w := synth.Generate(synth.ScaleSpec(n))
+	source := endpoint.NewLocal(w.Yago, 7)
+	target := endpoint.NewLocal(w.Dbp, 11)
+	links := sampling.LinkView{Links: w.Links, KIsA: true}
+	rels, err := candidates.Relations(target)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: e9 inventory: %w", err)
+	}
+
+	points := make([]PostingCapPoint, 0, len(caps))
+	for _, cap := range caps {
+		ix, err := candidates.Build(target, rels, links, candidates.Options{MaxPostings: cap})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e9 build at cap=%d: %w", cap, err)
+		}
+		pr, err := candidates.NewProber(ix, source)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: e9 prober at cap=%d: %w", cap, err)
+		}
+		pt := PostingCapPoint{Relations: ix.Len(), Cap: cap, Postings: ix.Postings()}
+		pt.TruncGrams, pt.Dropped = ix.TruncationStats()
+		var probeTotal time.Duration
+		for _, r := range w.Report.YagoRelations {
+			start := time.Now()
+			approx, err := pr.TopK(r, topk)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: e9 probe <%s> at cap=%d: %w", r, cap, err)
+			}
+			probeTotal += time.Since(start)
+			exact, err := pr.ExactTopK(r, topk)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: e9 exact probe <%s>: %w", r, err)
+			}
+			pt.SetRecall += candidates.Recall(approx, exact)
+			pt.MassRecall += candidates.ScoreRecall(approx, exact)
+			pt.Sources++
+		}
+		pt.ProbePer = probeTotal / time.Duration(pt.Sources)
+		pt.SetRecall /= float64(pt.Sources)
+		pt.MassRecall /= float64(pt.Sources)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// RenderPostingCap formats the sweep.
+func RenderPostingCap(points []PostingCapPoint) *eval.Table {
+	t := &eval.Table{Header: []string{
+		"cap", "postings", "capped grams", "dropped",
+		"probe/src", "set recall", "mass recall",
+	}}
+	for _, p := range points {
+		cap := "none"
+		if p.Cap > 0 {
+			cap = fmt.Sprint(p.Cap)
+		}
+		t.Add(cap, p.Postings, p.TruncGrams, p.Dropped,
+			p.ProbePer.Round(time.Microsecond).String(),
+			p.SetRecall, p.MassRecall)
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPostingCapSweep runs E9 at a small inventory: the uncapped row
+// must report zero truncation and near-exact recall (the probe is
+// approximate even uncapped), a tight cap must actually truncate and
+// shrink the posting count, and recall may only degrade — never the
+// exact reference, which the cap cannot touch.
+func TestPostingCapSweep(t *testing.T) {
+	points, err := PostingCapSweep(400, []int{0, 4}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	base, capped := points[0], points[1]
+	if base.Cap != 0 || base.TruncGrams != 0 || base.Dropped != 0 {
+		t.Fatalf("uncapped row reports truncation: %+v", base)
+	}
+	if base.MassRecall < 0.9 {
+		t.Fatalf("uncapped probe far from exact reference: %+v", base)
+	}
+	if capped.TruncGrams == 0 || capped.Dropped == 0 {
+		t.Fatalf("cap=4 truncated nothing: %+v", capped)
+	}
+	if capped.Postings >= base.Postings {
+		t.Fatalf("cap=4 did not shrink postings: %d >= %d", capped.Postings, base.Postings)
+	}
+	if capped.MassRecall > base.MassRecall+0.02 {
+		t.Fatalf("capped recall above uncapped: %+v vs %+v", capped, base)
+	}
+	if capped.MassRecall < 0.5 {
+		t.Errorf("cap=4 mass recall collapsed: %+v", capped)
+	}
+	if base.Relations != capped.Relations || base.Sources != capped.Sources {
+		t.Fatalf("rows disagree on world shape: %+v vs %+v", base, capped)
+	}
+	out := RenderPostingCap(points).String()
+	for _, want := range []string{"cap", "dropped", "mass recall", "none"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
