@@ -13,6 +13,26 @@
 //	sparqld -snapshot world/yago.snap
 //	sparqld -snapshot 'world/yago-shard-*-of-3.snap'
 //
+// Cluster mode splits one logical KB across processes. Each data node
+// serves one subject-hash shard (-shard-of i/n partitions the loaded
+// KB; a single kbgen shard snapshot works too), and a front-end
+// federates them over the network, with replica failover, health
+// probing and optional hedged reads:
+//
+//	sparqld -synthetic tiny -shard-of 0/3 -addr :9000
+//	sparqld -synthetic tiny -shard-of 1/3 -addr :9001
+//	sparqld -synthetic tiny -shard-of 2/3 -addr :9002
+//	sparqld -peers 'http://localhost:9000,http://localhost:9001,http://localhost:9002' \
+//	        -cluster-name tiny/yago -addr :8890
+//
+// Replicas of a shard are pipe-separated within its comma slot:
+// -peers 'http://a:9000|http://b:9000,http://a:9001|http://b:9001'.
+//
+// Every sparqld exposes observability endpoints next to the query
+// handler: /healthz (the cluster prober's liveness answer), /debug/vars
+// (expvar: query/row/latency counters, per-replica health) and
+// /debug/pprof/* (live profiling).
+//
 // The server enforces read-header and idle timeouts (a stalled client
 // cannot pin a connection forever) and drains in-flight queries on
 // SIGINT/SIGTERM before exiting.
@@ -24,18 +44,23 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"sofya/internal/cluster"
 	"sofya/internal/endpoint"
 	"sofya/internal/kb"
 	"sofya/internal/shard"
@@ -53,6 +78,13 @@ func main() {
 		maxRows    = flag.Int("max-rows", 10000, "row cap per SELECT (0 = unlimited)")
 		seed       = flag.Int64("seed", 1, "RAND() seed")
 		shards     = flag.Int("shards", 1, "serve the KB as this many subject-hash shards behind a federating group")
+		shardOf    = flag.String("shard-of", "", "serve only shard i of an n-way subject-hash partition, as 'i/n' (data node of a cluster)")
+		peers      = flag.String("peers", "", "federate remote shard endpoints instead of serving a KB: comma-separated shards, pipe-separated replicas per shard")
+		clusterNm  = flag.String("cluster-name", "kb", "logical KB name a -peers front-end serves under (must match the name the shards were partitioned from)")
+		hedge      = flag.Duration("hedge", 0, "hedged reads: re-issue to another replica after this delay (0 = off)")
+		hedgePct   = flag.Float64("hedge-pct", 0, "hedged reads: derive the hedge delay from this latency percentile in (0,1) once enough samples exist")
+		probeEvery = flag.Duration("probe-every", 2*time.Second, "replica health probe interval for a -peers front-end (0 = off)")
+		failAfter  = flag.Int("fail-after", 3, "consecutive failures before a replica is ejected")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -64,8 +96,29 @@ func main() {
 	quota := endpoint.Quota{MaxQueries: *maxQueries, MaxRows: *maxRows}
 
 	var serve endpoint.Endpoint
+	var clusterGroup *cluster.Group
 	var base *kb.KB
 	switch {
+	case *peers != "":
+		if *kbPath != "" || *snapshot != "" || *synthetic != "" {
+			fatal(fmt.Errorf("-peers is a pure front-end; it takes no -kb/-snapshot/-synthetic"))
+		}
+		shardURLs := parsePeers(*peers)
+		opt := cluster.Options{
+			HedgeDelay:      *hedge,
+			HedgePercentile: *hedgePct,
+			FailAfter:       *failAfter,
+			ProbeInterval:   *probeEvery,
+		}
+		g, err := cluster.FromURLs(*clusterNm, *seed, shardURLs, opt, shard.RowCap(*maxRows))
+		if err != nil {
+			fatal(err)
+		}
+		clusterGroup = g
+		serve = g
+		defer g.Close()
+		log.Printf("sparqld: federating %q over %d remote shard(s) on %s (hedge=%s probe=%s)",
+			*clusterNm, len(shardURLs), *addr, *hedge, *probeEvery)
 	case *snapshot != "":
 		paths, err := snapshotPaths(*snapshot)
 		if err != nil {
@@ -89,10 +142,16 @@ func main() {
 		if base, err = kb.OpenSnapshot(paths[0]); err != nil {
 			fatal(err)
 		}
-		// A lone shard file must not masquerade as the whole KB (e.g. a
-		// glob that matched only one shard of a partially copied set).
-		if _, n, ok := shard.PartitionIndex(base.Name()); ok && n > 1 {
-			fatal(fmt.Errorf("%s holds shard %q of a %d-shard set; pass the complete set", paths[0], base.Name(), n))
+		if i, n, ok := shard.PartitionIndex(base.Name()); ok && n > 1 {
+			// A lone shard file must not masquerade as the whole KB —
+			// unless this process is that shard's data node.
+			if *shardOf == fmt.Sprintf("%d/%d", i, n) {
+				serve = endpoint.NewLocalRestricted(base, *seed, quota)
+				log.Printf("sparqld: serving shard %q (%d facts, mmap=%v) on %s", base.Name(), base.Size(), base.Mapped(), *addr)
+				*shardOf = "" // consumed
+				break
+			}
+			fatal(fmt.Errorf("%s holds shard %q of a %d-shard set; pass the complete set or -shard-of %d/%d", paths[0], base.Name(), n, i, n))
 		}
 	case *synthetic != "":
 		spec := synth.TinySpec()
@@ -110,10 +169,19 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "sparqld: need -kb <file>, -snapshot <file(s)> or -synthetic tiny|paper")
+		fmt.Fprintln(os.Stderr, "sparqld: need -kb <file>, -snapshot <file(s)>, -synthetic tiny|paper or -peers <urls>")
 		os.Exit(2)
 	}
 
+	if serve == nil && *shardOf != "" {
+		i, n, err := parseShardOf(*shardOf)
+		if err != nil {
+			fatal(err)
+		}
+		part := kb.Partition(base, n)[i]
+		serve = endpoint.NewLocalRestricted(part, *seed, quota)
+		log.Printf("sparqld: serving shard %q (%d of %d facts) on %s", part.Name(), part.Size(), base.Size(), *addr)
+	}
 	if serve == nil {
 		if *shards > 1 {
 			serve = shard.PartitionedRestricted(base, *shards, *seed, quota)
@@ -123,10 +191,151 @@ func main() {
 		log.Printf("sparqld: serving %q (%d facts, %d relations, %d shard(s), mmap=%v) on %s",
 			base.Name(), base.Size(), len(base.Relations()), *shards, base.Mapped(), *addr)
 	}
-	if err := serveHTTP(*addr, endpoint.NewServerEndpoint(serve), *drain); err != nil {
+	mux := newServingMux(serve, clusterGroup)
+	if err := serveHTTP(*addr, mux, *drain); err != nil {
 		fatal(err)
 	}
 	log.Print("sparqld: shut down cleanly")
+}
+
+// reqMetrics counts the query handler's traffic for /debug/vars.
+type reqMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // non-2xx answers
+	totalNS  atomic.Int64
+	maxNS    atomic.Int64
+}
+
+// statusRecorder captures the handler's status code for the metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the wire protocol needs them).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// newServingMux assembles the serving surface: the query handler at /,
+// liveness at /healthz, expvar counters at /debug/vars, and pprof under
+// /debug/pprof/ — the "measured, not asserted" serving contract.
+func newServingMux(serve endpoint.Endpoint, cg *cluster.Group) *http.ServeMux {
+	m := &reqMetrics{}
+	sparqlHandler := endpoint.NewServerEndpoint(serve)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		sparqlHandler.ServeHTTP(rec, r)
+		d := time.Since(start).Nanoseconds()
+		m.requests.Add(1)
+		m.totalNS.Add(d)
+		for {
+			max := m.maxNS.Load()
+			if d <= max || m.maxNS.CompareAndSwap(max, d) {
+				break
+			}
+		}
+		if rec.status >= 400 {
+			m.errors.Add(1)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":   "ok",
+			"endpoint": serve.Name(),
+			"requests": m.requests.Load(),
+		})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	publishVars(serve, cg, m)
+	return mux
+}
+
+// publishVars exposes the endpoint's counters over expvar: HTTP request
+// latency, endpoint query/row statistics, and (for a cluster front-end)
+// per-replica health and traffic.
+func publishVars(serve endpoint.Endpoint, cg *cluster.Group, m *reqMetrics) {
+	expvar.Publish("sofya", expvar.Func(func() any {
+		vars := map[string]any{
+			"endpoint": serve.Name(),
+			"http": map[string]int64{
+				"requests":         m.requests.Load(),
+				"errors":           m.errors.Load(),
+				"total_latency_ns": m.totalNS.Load(),
+				"max_latency_ns":   m.maxNS.Load(),
+			},
+		}
+		if sr, ok := serve.(endpoint.StatsReporter); ok {
+			st := sr.Stats()
+			vars["queries"] = st.Queries
+			vars["rows"] = st.Rows
+			vars["truncations"] = st.Truncations
+			vars["denied"] = st.Denied
+		}
+		if cg != nil {
+			var sets []any
+			for i, set := range cg.ReplicaSets() {
+				var reps []any
+				for _, st := range set.Status() {
+					reps = append(reps, map[string]any{
+						"name":     st.Name,
+						"healthy":  st.Healthy,
+						"fails":    st.Fails,
+						"requests": st.Requests,
+						"errors":   st.Errors,
+					})
+				}
+				sets = append(sets, map[string]any{"shard": i, "replicas": reps})
+			}
+			vars["cluster"] = sets
+		}
+		return vars
+	}))
+}
+
+// parsePeers splits a -peers argument: commas separate shards, pipes
+// separate a shard's replicas.
+func parsePeers(arg string) [][]string {
+	var shards [][]string
+	for _, slot := range strings.Split(arg, ",") {
+		var reps []string
+		for _, u := range strings.Split(slot, "|") {
+			if u = strings.TrimSpace(u); u != "" {
+				reps = append(reps, u)
+			}
+		}
+		if len(reps) > 0 {
+			shards = append(shards, reps)
+		}
+	}
+	return shards
+}
+
+// parseShardOf parses a -shard-of 'i/n' argument.
+func parseShardOf(arg string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(arg, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard-of %q: want 'i/n'", arg)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard-of %q: need 0 <= i < n", arg)
+	}
+	return i, n, nil
 }
 
 // serveHTTP runs handler on a configured http.Server — read-header and

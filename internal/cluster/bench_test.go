@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/kb"
+	"sofya/internal/shard"
+	"sofya/internal/sparql"
+)
+
+// Benchmarks for the network-federation overhead table in
+// EXPERIMENTS.md: the same probe against an in-process group, an HTTP
+// cluster with batch framing, and an HTTP cluster forced to row-at-a-
+// time framing — the before/after of the wire batching.
+
+func benchKB(rows int) *kb.KB {
+	k := kb.New("bench")
+	for i := 0; i < rows; i++ {
+		k.AddIRIs(fmt.Sprintf("http://x/s%05d", i), "http://x/p", fmt.Sprintf("http://x/o%05d", i))
+	}
+	k.Freeze()
+	return k
+}
+
+const benchProbe = "SELECT ?s ?o WHERE { ?s <http://x/p> ?o } ORDER BY RAND() LIMIT $n"
+
+func drainBench(b *testing.B, pq endpoint.PreparedQuery, n int) {
+	b.Helper()
+	rows, err := pq.Stream(context.Background(), sparql.IntArg(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cnt := 0
+	for rows.Next() {
+		cnt++
+	}
+	if err := rows.Err(); err != nil {
+		b.Fatal(err)
+	}
+	rows.Close()
+	if cnt != n {
+		b.Fatalf("drained %d rows, want %d", cnt, n)
+	}
+}
+
+// newBenchCluster builds a 3-shard × 1-replica HTTP cluster with the
+// given wire batch size (0 = server default).
+func newBenchCluster(b *testing.B, src *kb.KB, batch int) (*Group, func()) {
+	b.Helper()
+	const seed = 41
+	parts := kb.Partition(src, 3)
+	var servers []*httptest.Server
+	shards := make([][]endpoint.Endpoint, len(parts))
+	for i, part := range parts {
+		srv := httptest.NewServer(endpoint.NewServer(endpoint.NewLocal(part, seed)))
+		servers = append(servers, srv)
+		c := endpoint.NewClient(part.Name(), srv.URL, nil)
+		if batch > 0 {
+			c.SetWireBatch(batch)
+		}
+		shards[i] = []endpoint.Endpoint{c}
+	}
+	g, err := NewGroup(src.Name(), seed, shards, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, func() {
+		g.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+}
+
+// BenchmarkClusterProbeHTTP: the RAND-ordered probe over a 3-shard
+// HTTP cluster with default (64-row) batch framing.
+func BenchmarkClusterProbeHTTP(b *testing.B) {
+	src := benchKB(4096)
+	g, cleanup := newBenchCluster(b, src, 0)
+	defer cleanup()
+	pq, err := g.Prepare(benchProbe, "n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainBench(b, pq, 32)
+	}
+}
+
+// BenchmarkClusterProbeHTTPRowFraming: the same probe with 1-row
+// frames — the before of the batching comparison.
+func BenchmarkClusterProbeHTTPRowFraming(b *testing.B) {
+	src := benchKB(4096)
+	g, cleanup := newBenchCluster(b, src, 1)
+	defer cleanup()
+	pq, err := g.Prepare(benchProbe, "n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainBench(b, pq, 32)
+	}
+}
+
+// BenchmarkClusterProbeInProcess: the in-process baseline — the same
+// federation merge over Locals, no network.
+func BenchmarkClusterProbeInProcess(b *testing.B) {
+	src := benchKB(4096)
+	g := shard.Partitioned(src, 3, 41)
+	pq, err := g.Prepare(benchProbe, "n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainBench(b, pq, 32)
+	}
+}
+
+// BenchmarkClusterAskProbe: cheap point probes (the health checker's
+// and alignment loop's shape) over HTTP.
+func BenchmarkClusterAskProbe(b *testing.B) {
+	src := benchKB(1024)
+	g, cleanup := newBenchCluster(b, src, 0)
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := g.Ask("ASK { <http://x/s00007> <http://x/p> ?o }")
+		if err != nil || !ok {
+			b.Fatalf("ask = %v, %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkClusterHedgedProbe: the hedging machinery's overhead when
+// the hedge never fires (healthy replicas, generous delay).
+func BenchmarkClusterHedgedProbe(b *testing.B) {
+	src := benchKB(1024)
+	const seed = 41
+	parts := kb.Partition(src, 1)
+	shards := [][]endpoint.Endpoint{{
+		endpoint.NewLocal(parts[0], seed),
+		endpoint.NewLocal(parts[0], seed),
+	}}
+	g, err := NewGroup(src.Name(), seed, shards, Options{HedgeDelay: 50_000_000 /* 50ms */})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	pq, err := g.Prepare(benchProbe, "n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainBench(b, pq, 32)
+	}
+}

@@ -1,0 +1,396 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/kb"
+	"sofya/internal/rdf"
+	"sofya/internal/sparql"
+	"sofya/internal/synth"
+)
+
+// The cluster differential oracle: a Group over HTTP replica endpoints
+// must answer byte-identically to a Local over the unsharded KB —
+// Select, Ask, prepared execution and streams, ORDER BY RAND() LIMIT
+// probes — at every shard × replica combination, with replicas killed
+// mid-suite (failover), and with hedging racing replicas per call.
+
+func renderResult(res *sparql.Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Vars, ","))
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		for _, t := range row {
+			sb.WriteString(t.String())
+			sb.WriteByte('\t')
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "truncated=%v", res.Truncated)
+	return sb.String()
+}
+
+func drainStream(t *testing.T, rows endpoint.Rows) *sparql.Result {
+	t.Helper()
+	defer rows.Close()
+	res := &sparql.Result{Vars: rows.Vars()}
+	for rows.Next() {
+		row := append([]rdf.Term(nil), rows.Row()...)
+		res.Rows = append(res.Rows, row)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	res.Truncated = rows.Truncated()
+	return res
+}
+
+// testWorld builds the shared oracle fixture: a tiny synthetic KB, the
+// unsharded reference endpoint, and two entity relations to probe.
+func testWorld(t *testing.T, seed int64) (*synth.World, *endpoint.Local, string, string) {
+	t.Helper()
+	w := synth.Generate(synth.TinySpec())
+	w.Yago.Freeze()
+	local := endpoint.NewLocal(w.Yago, seed)
+	var rels []string
+	for _, p := range w.Yago.Relations() {
+		iri := w.Yago.Term(p).Value
+		n, entity := 0, true
+		w.Yago.EachFactOf(p, func(s, o kb.TermID) bool {
+			n++
+			if w.Yago.Term(o).IsLiteral() {
+				entity = false
+			}
+			return n < 5 && entity
+		})
+		if n >= 3 && entity {
+			rels = append(rels, iri)
+		}
+		if len(rels) == 2 {
+			break
+		}
+	}
+	if len(rels) < 2 {
+		t.Fatalf("world has fewer than two entity relations")
+	}
+	return w, local, rels[0], rels[1]
+}
+
+// testCluster is an in-process HTTP cluster: n shards × m replicas,
+// every replica a real httptest server over a Local of its shard.
+type testCluster struct {
+	group   *Group
+	servers [][]*httptest.Server // [shard][replica]
+}
+
+func newTestCluster(t *testing.T, src *kb.KB, nShards, nReplicas int, seed int64, opt Options) *testCluster {
+	t.Helper()
+	parts := kb.Partition(src, nShards)
+	shards := make([][]endpoint.Endpoint, nShards)
+	servers := make([][]*httptest.Server, nShards)
+	for i, part := range parts {
+		for j := 0; j < nReplicas; j++ {
+			srv := httptest.NewServer(endpoint.NewServer(endpoint.NewLocal(part, seed)))
+			servers[i] = append(servers[i], srv)
+			shards[i] = append(shards[i], endpoint.NewClient(part.Name(), srv.URL, nil))
+		}
+	}
+	g, err := NewGroup(src.Name(), seed, shards, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{group: g, servers: servers}
+	t.Cleanup(tc.close)
+	return tc
+}
+
+func (tc *testCluster) close() {
+	tc.group.Close()
+	for _, reps := range tc.servers {
+		for _, srv := range reps {
+			srv.Close()
+		}
+	}
+}
+
+// killReplica closes one replica's HTTP server; its clients start
+// failing with connection errors, which the set fails over.
+func (tc *testCluster) killReplica(shard, replica int) {
+	tc.servers[shard][replica].Close()
+}
+
+func oracleSelects(rel, rel2 string) []string {
+	return []string{
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y }", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } LIMIT 4", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } LIMIT 4 OFFSET 3", rel),
+		fmt.Sprintf("SELECT DISTINCT ?x WHERE { ?x <%s> ?y } LIMIT 3 OFFSET 1", rel),
+		fmt.Sprintf("SELECT ?x ?y ?z WHERE { ?x <%s> ?y . ?x <%s> ?z }", rel, rel2),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT 5", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND() LIMIT 3 OFFSET 2", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY RAND()", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY ?y LIMIT 6", rel),
+		fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } ORDER BY DESC(?x) ?y", rel),
+	}
+}
+
+func oracleAsks(rel string) []string {
+	return []string{
+		fmt.Sprintf("ASK { ?x <%s> ?y }", rel),
+		"ASK { ?x <http://nowhere/rel> ?y }",
+	}
+}
+
+// runOracle diffs the cluster against the unsharded reference on the
+// whole query battery.
+func runOracle(t *testing.T, label string, local *endpoint.Local, g *Group, rel, rel2 string) {
+	t.Helper()
+	for _, q := range oracleSelects(rel, rel2) {
+		want, err := local.Select(q)
+		if err != nil {
+			t.Fatalf("%s: local %q: %v", label, q, err)
+		}
+		got, err := g.Select(q)
+		if err != nil {
+			t.Fatalf("%s: cluster %q: %v", label, q, err)
+		}
+		if renderResult(got) != renderResult(want) {
+			t.Errorf("%s: Select diverges for %q:\n--- cluster ---\n%s\n--- local ---\n%s",
+				label, q, renderResult(got), renderResult(want))
+		}
+	}
+	for _, q := range oracleAsks(rel) {
+		want, err := local.Ask(q)
+		if err != nil {
+			t.Fatalf("%s: local %q: %v", label, q, err)
+		}
+		got, err := g.Ask(q)
+		if err != nil {
+			t.Fatalf("%s: cluster %q: %v", label, q, err)
+		}
+		if got != want {
+			t.Errorf("%s: Ask(%q) = %v, want %v", label, q, got, want)
+		}
+	}
+}
+
+// runPreparedOracle diffs prepared execution and streaming.
+func runPreparedOracle(t *testing.T, label string, local *endpoint.Local, g *Group, rel, rel2 string) {
+	t.Helper()
+	const (
+		tmplSample  = "SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY RAND() LIMIT $n"
+		tmplOrdered = "SELECT ?x ?y WHERE { ?x $r ?y } ORDER BY ?y LIMIT $n"
+	)
+	probes := []struct {
+		tmpl   string
+		params []string
+		args   []sparql.Arg
+	}{
+		{tmplSample, []string{"r", "n"}, []sparql.Arg{sparql.IRIArg(rel), sparql.IntArg(5)}},
+		{tmplSample, []string{"r", "n"}, []sparql.Arg{sparql.IRIArg(rel2), sparql.IntArg(300)}},
+		{tmplOrdered, []string{"r", "n"}, []sparql.Arg{sparql.IRIArg(rel), sparql.IntArg(6)}},
+	}
+	for pi, pr := range probes {
+		lp, err := local.Prepare(pr.tmpl, pr.params...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := g.Prepare(pr.tmpl, pr.params...)
+		if err != nil {
+			t.Fatalf("%s: probe %d Prepare: %v", label, pi, err)
+		}
+		want, err := lp.Select(pr.args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := gp.Select(pr.args...)
+		if err != nil {
+			t.Fatalf("%s: probe %d Select: %v", label, pi, err)
+		}
+		if renderResult(got) != renderResult(want) {
+			t.Errorf("%s: probe %d prepared Select diverges:\n--- cluster ---\n%s\n--- local ---\n%s",
+				label, pi, renderResult(got), renderResult(want))
+		}
+		gr, err := gp.Stream(context.Background(), pr.args...)
+		if err != nil {
+			t.Fatalf("%s: probe %d Stream: %v", label, pi, err)
+		}
+		gotS := drainStream(t, gr)
+		if renderResult(gotS) != renderResult(want) {
+			t.Errorf("%s: probe %d prepared Stream diverges:\n--- cluster ---\n%s\n--- local ---\n%s",
+				label, pi, renderResult(gotS), renderResult(want))
+		}
+	}
+}
+
+func TestClusterOracle(t *testing.T) {
+	const seed = 17
+	w, local, rel, rel2 := testWorld(t, seed)
+	for _, nShards := range []int{1, 2, 3} {
+		for _, nReplicas := range []int{1, 2} {
+			label := fmt.Sprintf("shards=%d/replicas=%d", nShards, nReplicas)
+			t.Run(label, func(t *testing.T) {
+				tc := newTestCluster(t, w.Yago, nShards, nReplicas, seed, Options{})
+				runOracle(t, label, local, tc.group, rel, rel2)
+				runPreparedOracle(t, label, local, tc.group, rel, rel2)
+			})
+		}
+	}
+}
+
+// TestClusterFailover kills one replica per shard mid-suite: the
+// battery before the kill and the battery after must both be
+// byte-identical to the reference — the surviving replicas answer.
+func TestClusterFailover(t *testing.T) {
+	const seed = 23
+	w, local, rel, rel2 := testWorld(t, seed)
+	tc := newTestCluster(t, w.Yago, 3, 2, seed, Options{})
+	runOracle(t, "pre-kill", local, tc.group, rel, rel2)
+	for shard := 0; shard < 3; shard++ {
+		tc.killReplica(shard, 0)
+	}
+	runOracle(t, "post-kill", local, tc.group, rel, rel2)
+	runPreparedOracle(t, "post-kill", local, tc.group, rel, rel2)
+	// The dead replicas took strikes; after FailAfter of them the sets
+	// mark them ejected and stop paying the failed first attempt.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ejected := 0
+		for _, set := range tc.group.ReplicaSets() {
+			for _, st := range set.Status() {
+				if !st.Healthy {
+					ejected++
+				}
+			}
+		}
+		if ejected == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead replicas not ejected after traffic strikes (ejected=%d)", ejected)
+		}
+		runOracle(t, "strike-traffic", local, tc.group, rel, rel2)
+	}
+}
+
+// TestClusterHedged runs the oracle with hedging aggressive enough to
+// fire constantly: racing two replicas must never change a byte,
+// because answers are replica-independent.
+func TestClusterHedged(t *testing.T) {
+	const seed = 29
+	w, local, rel, rel2 := testWorld(t, seed)
+	tc := newTestCluster(t, w.Yago, 2, 2, seed, Options{HedgeDelay: time.Microsecond})
+	runOracle(t, "hedged", local, tc.group, rel, rel2)
+	runPreparedOracle(t, "hedged", local, tc.group, rel, rel2)
+}
+
+// flakyEndpoint forwards to an inner endpoint until tripped, then
+// fails everything with a retriable 503.
+type flakyEndpoint struct {
+	inner endpoint.Endpoint
+	fail  func() bool
+}
+
+func (f *flakyEndpoint) err() error {
+	return &endpoint.StatusError{URL: "flaky", Code: 503, Snippet: "injected outage"}
+}
+
+func (f *flakyEndpoint) Name() string { return f.inner.Name() }
+
+func (f *flakyEndpoint) Select(q string) (*sparql.Result, error) {
+	return f.SelectCtx(context.Background(), q)
+}
+
+func (f *flakyEndpoint) Ask(q string) (bool, error) {
+	return f.AskCtx(context.Background(), q)
+}
+
+func (f *flakyEndpoint) SelectCtx(ctx context.Context, q string) (*sparql.Result, error) {
+	if f.fail() {
+		return nil, f.err()
+	}
+	return f.inner.SelectCtx(ctx, q)
+}
+
+func (f *flakyEndpoint) AskCtx(ctx context.Context, q string) (bool, error) {
+	if f.fail() {
+		return false, f.err()
+	}
+	return f.inner.AskCtx(ctx, q)
+}
+
+func (f *flakyEndpoint) Prepare(tmpl string, params ...string) (endpoint.PreparedQuery, error) {
+	return endpoint.NewTextPrepared(f, tmpl, params...)
+}
+
+// TestHealthEjectionReadmission drives the active prober: a replica
+// that starts failing probes is ejected after FailAfter consecutive
+// failures and re-admitted on the first success.
+func TestHealthEjectionReadmission(t *testing.T) {
+	const seed = 31
+	w, _, rel, _ := testWorld(t, seed)
+	parts := kb.Partition(w.Yago, 1)
+	var failing atomic.Bool
+	flaky := &flakyEndpoint{
+		inner: endpoint.NewLocal(parts[0], seed),
+		fail:  failing.Load,
+	}
+	good := endpoint.NewLocal(parts[0], seed)
+	set, err := NewReplicas([]endpoint.Endpoint{flaky, good}, Options{
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailAfter:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	waitHealth := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if set.Status()[0].Healthy == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica 0 never became %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	failing.Store(true)
+	waitHealth(false, "ejected")
+	// Ejected replica: traffic routes around it and still succeeds.
+	if _, err := set.Select(fmt.Sprintf("SELECT ?x ?y WHERE { ?x <%s> ?y } LIMIT 2", rel)); err != nil {
+		t.Fatalf("query during outage: %v", err)
+	}
+	failing.Store(false)
+	waitHealth(true, "re-admitted")
+}
+
+// TestReplicaSetNameStability: the set answers under the first
+// replica's name regardless of which replica serves — the federation's
+// coalescing and routing key must not flap with failovers.
+func TestReplicaSetNameStability(t *testing.T) {
+	k := kb.New("stable/shard-0-of-1")
+	k.AddIRIs("http://x/a", "http://x/p", "http://x/b")
+	a := endpoint.NewLocal(k, 1)
+	b := endpoint.NewLocal(k, 1)
+	set, err := NewReplicas([]endpoint.Endpoint{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if set.Name() != "stable/shard-0-of-1" {
+		t.Fatalf("set name = %q", set.Name())
+	}
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sofya/internal/endpoint"
+	"sofya/internal/shard"
+)
+
+// Group is the network-native federation: a shard.Group whose shards
+// are replica sets instead of in-process Locals. All query semantics —
+// decomposition, routing, ordered merge, RAND() re-derivation — are the
+// federation's, unchanged; this layer contributes the fault tolerance
+// underneath each shard and the lifecycle of the health probers.
+//
+// shards[i] must be replicas of shard i of the kb.Partition of the
+// logical KB (each exposing the partition's canonical shard name,
+// "<base>/shard-i-of-n"), all running the same seed. Then the Group is
+// byte-identical to endpoint.NewLocal over the unpartitioned KB.
+type Group struct {
+	*shard.Group
+	sets []*Replicas
+}
+
+// NewGroup federates per-shard replica sets: shards[i] lists the
+// interchangeable endpoints serving shard i. Options apply to every
+// set. Close the group to stop the health probers.
+func NewGroup(name string, seed int64, shards [][]endpoint.Endpoint, opt Options, shardOpts ...shard.Option) (*Group, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: a group needs at least one shard")
+	}
+	sets := make([]*Replicas, len(shards))
+	eps := make([]endpoint.Endpoint, len(shards))
+	for i, reps := range shards {
+		set, err := NewReplicas(reps, opt)
+		if err != nil {
+			closeSets(sets[:i])
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		sets[i] = set
+		eps[i] = set
+	}
+	g, err := shard.NewGroup(name, seed, eps, shardOpts...)
+	if err != nil {
+		closeSets(sets)
+		return nil, err
+	}
+	return &Group{Group: g, sets: sets}, nil
+}
+
+// FromURLs builds a Group over remote sparqld processes: shardURLs[i]
+// lists the base URLs (e.g. "http://host:port/sparql") of shard i's
+// replicas. Each client endpoint takes the partition's canonical shard
+// name, so coalescing keys and merge routing treat a replica set as one
+// shard regardless of which URL answers.
+func FromURLs(name string, seed int64, shardURLs [][]string, opt Options, shardOpts ...shard.Option) (*Group, error) {
+	n := len(shardURLs)
+	shards := make([][]endpoint.Endpoint, n)
+	for i, urls := range shardURLs {
+		shardName := fmt.Sprintf("%s/shard-%d-of-%d", name, i, n)
+		reps := make([]endpoint.Endpoint, len(urls))
+		for j, u := range urls {
+			reps[j] = endpoint.NewClient(shardName, u, nil)
+		}
+		shards[i] = reps
+	}
+	return NewGroup(name, seed, shards, opt, shardOpts...)
+}
+
+// Close stops every replica set's health prober. In-flight queries
+// finish normally.
+func (g *Group) Close() { closeSets(g.sets) }
+
+// ReplicaSets exposes the per-shard replica sets, in shard order — the
+// serving layer reads health and traffic status from them.
+func (g *Group) ReplicaSets() []*Replicas { return g.sets }
+
+func closeSets(sets []*Replicas) {
+	for _, s := range sets {
+		if s != nil {
+			s.Close()
+		}
+	}
+}

@@ -5,10 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
+	"sofya/internal/rdf"
 	"sofya/internal/sparql"
 )
 
@@ -19,6 +23,12 @@ const ResultsContentType = "application/sparql-results+json"
 // GET  /sparql?query=...          (query in the URL)
 // POST /sparql with form field "query" or a raw application/sparql-query
 // body.
+//
+// A request carrying stream=1 selects the batch-framed streaming
+// response for SELECT queries (see wire.go): rows cross the wire in
+// flushed frames of up to `batch` rows instead of one drained JSON
+// document, and an orderspec field makes the server attach deterministic
+// ORDER BY key values to every row.
 type Server struct {
 	local Endpoint
 }
@@ -30,22 +40,34 @@ func NewServer(local *Local) *Server { return &Server{local: local} }
 // decorated stack — for HTTP serving.
 func NewServerEndpoint(ep Endpoint) *Server { return &Server{local: ep} }
 
+// wireReq is one parsed protocol request.
+type wireReq struct {
+	query     string
+	stream    bool
+	batch     int    // requested rows per frame; 0 = server default
+	orderspec string // original ordered query text for key attachment
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	query, err := extractQuery(r)
+	req, err := extractQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	q, err := sparql.Parse(query)
+	q, err := sparql.Parse(req.query)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.stream && q.Form == sparql.SelectForm {
+		s.serveStream(w, r, req)
 		return
 	}
 	var body []byte
 	switch q.Form {
 	case sparql.AskForm:
-		ok, err := s.local.Ask(query)
+		ok, err := s.local.AskCtx(r.Context(), req.query)
 		if err != nil {
 			writeQueryError(w, err)
 			return
@@ -56,7 +78,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	default:
-		res, err := s.local.Select(query)
+		res, err := s.local.SelectCtx(r.Context(), req.query)
 		if err != nil {
 			writeQueryError(w, err)
 			return
@@ -72,6 +94,33 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
+// serveStream answers a stream=1 SELECT with batch frames. Errors
+// before the first frame still use plain HTTP status codes; after it,
+// they travel as terminal error frames.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *wireReq) {
+	var keyIdx []int
+	var keyEvals []func([]rdf.Term) sparql.Value
+	if req.orderspec != "" {
+		var err error
+		keyIdx, keyEvals, err = orderKeyEvals(req.orderspec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	pq, err := s.local.Prepare(req.query)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	rows, err := pq.Stream(r.Context())
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeStream(w, rows, keyIdx, keyEvals, req.batch)
+}
+
 func writeQueryError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrQuotaExceeded) {
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
@@ -80,33 +129,119 @@ func writeQueryError(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), http.StatusBadRequest)
 }
 
-func extractQuery(r *http.Request) (string, error) {
+func extractQuery(r *http.Request) (*wireReq, error) {
+	var get func(name string) string
 	switch r.Method {
 	case http.MethodGet:
-		q := r.URL.Query().Get("query")
-		if q == "" {
-			return "", errors.New("endpoint: missing query parameter")
-		}
-		return q, nil
+		q := r.URL.Query()
+		get = q.Get
 	case http.MethodPost:
 		ct := r.Header.Get("Content-Type")
 		if strings.HasPrefix(ct, "application/sparql-query") {
 			b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			return string(b), nil
+			return &wireReq{query: string(b)}, nil
 		}
 		if err := r.ParseForm(); err != nil {
-			return "", err
+			return nil, err
 		}
-		q := r.PostForm.Get("query")
-		if q == "" {
-			return "", errors.New("endpoint: missing query form field")
-		}
-		return q, nil
+		get = r.PostForm.Get
 	default:
-		return "", fmt.Errorf("endpoint: method %s not allowed", r.Method)
+		return nil, fmt.Errorf("endpoint: method %s not allowed", r.Method)
+	}
+	req := &wireReq{
+		query:     get("query"),
+		stream:    get("stream") == "1",
+		orderspec: get("orderspec"),
+	}
+	if req.query == "" {
+		return nil, errors.New("endpoint: missing query parameter")
+	}
+	if b := get("batch"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("endpoint: bad batch size %q", b)
+		}
+		req.batch = n
+	}
+	return req, nil
+}
+
+// StatusError is a non-200 answer from a remote endpoint: the HTTP
+// status plus a bounded snippet of the response body, so a failure
+// names its cause ("parse error at ...", a proxy's HTML error page)
+// instead of a bare status code.
+type StatusError struct {
+	URL     string
+	Code    int
+	Snippet string
+}
+
+func (e *StatusError) Error() string {
+	if e.Snippet == "" {
+		return fmt.Sprintf("endpoint: %s: HTTP %d", e.URL, e.Code)
+	}
+	return fmt.Sprintf("endpoint: %s: HTTP %d: %s", e.URL, e.Code, e.Snippet)
+}
+
+// snippetLimit bounds how much of an error body travels in a
+// StatusError.
+const snippetLimit = 200
+
+func bodySnippet(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if len(s) > snippetLimit {
+		s = s[:snippetLimit] + "…"
+	}
+	return s
+}
+
+// Retriable reports whether an endpoint error is worth retrying on
+// another replica of the same data: transport failures and 5xx answers
+// are; semantic answers — quota rejections, parse errors and other 4xx,
+// a caller's own context ending — are not (a replica would answer the
+// same, or the caller asked to stop).
+func Retriable(err error) bool {
+	if err == nil ||
+		errors.Is(err, ErrQuotaExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+// defaultHTTPClient builds the client used when the caller passes none:
+// unlike http.DefaultClient it bounds every phase that can hang — dial,
+// TLS, response headers, idle pool — without a whole-request timeout,
+// which would cut legitimate long streams.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+			IdleConnTimeout:       90 * time.Second,
+			MaxIdleConnsPerHost:   16,
+		},
 	}
 }
 
@@ -115,13 +250,16 @@ type Client struct {
 	name    string
 	baseURL string
 	httpc   *http.Client
+	batch   int // requested stream frame size; 0 = server default
 }
 
 // NewClient builds a client for the service at baseURL (e.g.
-// "http://host:port/sparql"). If httpc is nil, http.DefaultClient is used.
+// "http://host:port/sparql"). If httpc is nil, a client with bounded
+// dial/TLS/header timeouts (and no whole-request timeout, so streams
+// can run long) is used.
 func NewClient(name, baseURL string, httpc *http.Client) *Client {
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = defaultHTTPClient()
 	}
 	return &Client{name: name, baseURL: baseURL, httpc: httpc}
 }
@@ -129,14 +267,23 @@ func NewClient(name, baseURL string, httpc *http.Client) *Client {
 // Name implements Endpoint.
 func (c *Client) Name() string { return c.name }
 
-func (c *Client) roundTrip(ctx context.Context, query string) (*sparql.Result, error) {
-	form := url.Values{"query": {query}}
+// SetWireBatch requests a specific rows-per-frame granularity for
+// streamed queries (0 = the server's default, WireBatch). Smaller
+// batches mean more round trips; the setting exists for the framing
+// experiments, not for tuning down.
+func (c *Client) SetWireBatch(n int) { c.batch = n }
+
+func (c *Client) post(ctx context.Context, form url.Values) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL, strings.NewReader(form.Encode()))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-	resp, err := c.httpc.Do(req)
+	return c.httpc.Do(req)
+}
+
+func (c *Client) roundTrip(ctx context.Context, query string) (*sparql.Result, error) {
+	resp, err := c.post(ctx, url.Values{"query": {query}})
 	if err != nil {
 		return nil, err
 	}
@@ -151,8 +298,49 @@ func (c *Client) roundTrip(ctx context.Context, query string) (*sparql.Result, e
 	case http.StatusTooManyRequests:
 		return nil, ErrQuotaExceeded
 	default:
-		return nil, fmt.Errorf("endpoint: %s: HTTP %d: %s", c.baseURL, resp.StatusCode, strings.TrimSpace(string(body)))
+		return nil, &StatusError{URL: c.baseURL, Code: resp.StatusCode, Snippet: bodySnippet(body)}
 	}
+}
+
+// openStream requests the batch-framed stream for a SELECT text. A
+// server that answers with a plain JSON document (an older build, a
+// generic SPARQL endpoint) is transparently drained and replayed.
+func (c *Client) openStream(ctx context.Context, query, orderspec string) (Rows, error) {
+	form := url.Values{"query": {query}, "stream": {"1"}}
+	if c.batch > 0 {
+		form.Set("batch", strconv.Itoa(c.batch))
+	}
+	if orderspec != "" {
+		form.Set("orderspec", orderspec)
+	}
+	resp, err := c.post(ctx, form)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		resp.Body.Close()
+		return nil, ErrQuotaExceeded
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return nil, &StatusError{URL: c.baseURL, Code: resp.StatusCode, Snippet: bodySnippet(body)}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, StreamContentType) {
+		// Not a framed stream: drain the whole JSON answer and replay.
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		res, err := UnmarshalResults(body)
+		if err != nil {
+			return nil, err
+		}
+		return newReplayRows(res), nil
+	}
+	return newWireRows(resp.Body, nil)
 }
 
 // Select implements Endpoint.
@@ -183,9 +371,49 @@ func (c *Client) AskCtx(ctx context.Context, query string) (bool, error) {
 // renders the template to canonical query text and sends it over the
 // wire. A Local server on the far side derives RAND() streams from
 // that canonical text, so remote prepared results match in-process
-// prepared results byte for byte.
+// prepared results byte for byte. Streamed executions use the
+// batch-framed wire protocol — rows cross the network once per frame,
+// not per row — and attach ORDER BY keys when asked (StreamKeyed).
 func (c *Client) Prepare(template string, params ...string) (PreparedQuery, error) {
-	return NewTextPrepared(c, template, params...)
+	t, err := sparql.ParseTemplate(template, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &clientPrepared{textPrepared: textPrepared{ep: c, tmpl: t}, c: c}, nil
 }
 
-var _ Endpoint = (*Client)(nil)
+// clientPrepared is the HTTP client's PreparedQuery: text interpolation
+// for whole-result calls (one request, one JSON document), the framed
+// wire stream for Stream/StreamKeyed.
+type clientPrepared struct {
+	textPrepared
+	c *Client
+}
+
+// Stream overrides the drain-then-iterate fallback with the framed wire
+// stream: rows arrive in batches as the consumer pulls, and closing the
+// stream aborts the remote enumeration with the request context.
+func (p *clientPrepared) Stream(ctx context.Context, args ...sparql.Arg) (Rows, error) {
+	text, err := p.tmpl.Text(args...)
+	if err != nil {
+		return nil, err
+	}
+	return p.c.openStream(ctx, text, "")
+}
+
+// StreamKeyed implements KeyedStreamer: the server evaluates the
+// deterministic ORDER BY keys of orderText per row and ships the values
+// with the frames.
+func (p *clientPrepared) StreamKeyed(ctx context.Context, orderText string, args ...sparql.Arg) (Rows, error) {
+	text, err := p.tmpl.Text(args...)
+	if err != nil {
+		return nil, err
+	}
+	return p.c.openStream(ctx, text, orderText)
+}
+
+var (
+	_ Endpoint      = (*Client)(nil)
+	_ PreparedQuery = (*clientPrepared)(nil)
+	_ KeyedStreamer = (*clientPrepared)(nil)
+)

@@ -1,0 +1,408 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// http_error_test.go injects failures into the HTTP protocol — the
+// paths a real network exercises and a clean test run never does:
+// malformed JSON, mid-stream disconnects, context cancellation, error
+// status codes, and their classification for failover (Retriable).
+
+func TestClientMalformedJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ResultsContentType)
+		io.WriteString(w, `{"head": {"vars": ["x"]}, "results": {"bindings": [{"x"`)
+	}))
+	defer srv.Close()
+	client := NewClient("bad", srv.URL, nil)
+	if _, err := client.Select("SELECT ?x WHERE { ?x ?p ?o }"); err == nil {
+		t.Fatal("malformed JSON was accepted")
+	}
+}
+
+func TestClientStatusErrorSnippet(t *testing.T) {
+	long := strings.Repeat("x", 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "engine exploded: "+long, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	client := NewClient("bad", srv.URL, nil)
+	_, err := client.Select("SELECT ?x WHERE { ?x ?p ?o }")
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a StatusError: %v", err)
+	}
+	if se.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d", se.Code)
+	}
+	if !strings.Contains(se.Snippet, "engine exploded") {
+		t.Fatalf("snippet lost the body: %q", se.Snippet)
+	}
+	if len(se.Snippet) > snippetLimit+len("…") {
+		t.Fatalf("snippet not capped: %d bytes", len(se.Snippet))
+	}
+	if !Retriable(err) {
+		t.Fatal("5xx must be retriable")
+	}
+}
+
+func TestClient4xxNotRetriable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such query form", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	client := NewClient("bad", srv.URL, nil)
+	_, err := client.Select("SELECT ?x WHERE { ?x ?p ?o }")
+	if err == nil || Retriable(err) {
+		t.Fatalf("4xx must be a fatal error, got %v (retriable=%v)", err, Retriable(err))
+	}
+}
+
+func TestClientQuotaIdentityPreserved(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "quota", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	client := NewClient("q", srv.URL, nil)
+	if _, err := client.Select("SELECT ?x WHERE { ?x ?p ?o }"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("429 did not map to ErrQuotaExceeded: %v", err)
+	}
+	pq, err := client.Prepare("SELECT ?x WHERE { ?x ?p ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Stream(context.Background()); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("429 on stream open did not map to ErrQuotaExceeded: %v", err)
+	}
+	if Retriable(ErrQuotaExceeded) {
+		t.Fatal("quota errors must not be retriable")
+	}
+}
+
+// TestStreamQuotaErrorFrame: a quota trip mid-stream travels as the
+// terminal error frame and surfaces as ErrQuotaExceeded.
+func TestStreamQuotaErrorFrame(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", StreamContentType)
+		io.WriteString(w, `{"head":{"vars":["x"]}}`+"\n")
+		io.WriteString(w, `{"rows":[[{"type":"uri","value":"http://x/a"}]]}`+"\n")
+		io.WriteString(w, `{"error":"endpoint: query quota exceeded","quota":true}`+"\n")
+	}))
+	defer srv.Close()
+	client := NewClient("q", srv.URL, nil)
+	pq, err := client.Prepare("SELECT ?x WHERE { ?x ?p ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("rows before the error = %d, want 1", n)
+	}
+	if !errors.Is(rows.Err(), ErrQuotaExceeded) {
+		t.Fatalf("mid-stream quota error lost its identity: %v", rows.Err())
+	}
+}
+
+// TestStreamCutMidFlight: a connection dropped between frames is a
+// transport error, not a silently short result.
+func TestStreamCutMidFlight(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", StreamContentType)
+		io.WriteString(w, `{"head":{"vars":["x"]}}`+"\n")
+		io.WriteString(w, `{"rows":[[{"type":"uri","value":"http://x/a"}]]}`+"\n")
+		w.(http.Flusher).Flush()
+		// Kill the TCP connection without a terminal frame.
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer srv.Close()
+	client := NewClient("cut", srv.URL, nil)
+	pq, err := client.Prepare("SELECT ?x WHERE { ?x ?p ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("rows before the cut = %d, want 1", n)
+	}
+	err = rows.Err()
+	if err == nil {
+		t.Fatal("mid-stream disconnect was silent")
+	}
+	if !strings.Contains(err.Error(), "cut mid-flight") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !Retriable(err) {
+		t.Fatalf("a cut stream must be retriable: %v", err)
+	}
+}
+
+// TestStreamGarbageFrame: undecodable frame bytes fail the stream.
+func TestStreamGarbageFrame(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", StreamContentType)
+		io.WriteString(w, `{"head":{"vars":["x"]}}`+"\n")
+		io.WriteString(w, "this is not JSON\n")
+	}))
+	defer srv.Close()
+	client := NewClient("garbage", srv.URL, nil)
+	pq, err := client.Prepare("SELECT ?x WHERE { ?x ?p ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	if rows.Err() == nil {
+		t.Fatal("garbage frame was accepted")
+	}
+}
+
+// TestStreamContextCancellation: canceling the stream's context aborts
+// the transfer; the consumer sees an error, not a truncated success.
+func TestStreamContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.ParseForm() // drain the body so the client abort is detected
+		w.Header().Set("Content-Type", StreamContentType)
+		io.WriteString(w, `{"head":{"vars":["x"]}}`+"\n")
+		io.WriteString(w, `{"rows":[[{"type":"uri","value":"http://x/a"}]]}`+"\n")
+		w.(http.Flusher).Flush()
+		select { // hold the stream open until the client gives up
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	client := NewClient("cancel", srv.URL, nil)
+	pq, err := client.Prepare("SELECT ?x WHERE { ?x ?p ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := pq.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("first row missing: %v", rows.Err())
+	}
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		for rows.Next() {
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled stream did not unblock")
+	}
+	if rows.Err() == nil {
+		t.Fatal("cancellation was silent")
+	}
+}
+
+// TestClientCallCancellation: a canceled whole-result call returns the
+// context error, which is never retried.
+func TestClientCallCancellation(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.ParseForm() // drain the body so the client abort is detected
+		close(started)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	client := NewClient("cancel", srv.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := client.SelectCtx(ctx, "SELECT ?x WHERE { ?x ?p ?o }")
+		errc <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("canceled call succeeded")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled call did not surface context.Canceled: %v", err)
+		}
+		if Retriable(err) {
+			t.Fatal("a caller's own cancellation must not be retried")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled call did not return")
+	}
+}
+
+// TestServerStreamAskRejected: the stream flag applies to SELECT; an
+// ASK with stream=1 still answers the plain JSON document.
+func TestServerStreamAskRejected(t *testing.T) {
+	local := NewLocal(testKB(), 1)
+	srv := httptest.NewServer(NewServer(local))
+	defer srv.Close()
+	resp, err := http.PostForm(srv.URL, map[string][]string{
+		"query":  {"ASK { ?x <http://x/p> ?y }"},
+		"stream": {"1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, ResultsContentType) {
+		t.Fatalf("ASK answered with content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	res, err := UnmarshalResults(body)
+	if err != nil || !res.Ask {
+		t.Fatalf("ASK answer corrupted: %v %v", res, err)
+	}
+}
+
+// TestServerBadBatch: an invalid batch size is a 400.
+func TestServerBadBatch(t *testing.T) {
+	local := NewLocal(testKB(), 1)
+	srv := httptest.NewServer(NewServer(local))
+	defer srv.Close()
+	for _, batch := range []string{"0", "-5", "nope"} {
+		resp, err := http.PostForm(srv.URL, map[string][]string{
+			"query":  {"SELECT ?x WHERE { ?x <http://x/p> ?y }"},
+			"stream": {"1"},
+			"batch":  {batch},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("batch=%q: status = %d, want 400", batch, resp.StatusCode)
+		}
+	}
+}
+
+// TestSetWireBatch: the client's requested frame size shapes the
+// server's framing (more flushes for smaller batches).
+func TestSetWireBatch(t *testing.T) {
+	const rows = 64
+	local := NewLocal(bigKB(rows), 1)
+	client := func(batch int, flushes *int) int {
+		inner := NewServer(local)
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			inner.ServeHTTP(&countOnlyWriter{ResponseWriter: w, flushes: flushes}, r)
+		}))
+		defer srv.Close()
+		c := NewClient("batch", srv.URL, nil)
+		c.SetWireBatch(batch)
+		pq, err := c.Prepare("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := pq.Stream(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stream.Close()
+		n := 0
+		for stream.Next() {
+			n++
+		}
+		return n
+	}
+	var rowFlushes, batchFlushes int
+	if n := client(1, &rowFlushes); n != rows {
+		t.Fatalf("batch=1 streamed %d rows", n)
+	}
+	if n := client(64, &batchFlushes); n != rows {
+		t.Fatalf("batch=64 streamed %d rows", n)
+	}
+	if rowFlushes <= batchFlushes {
+		t.Fatalf("row framing (%d flushes) not worse than batch framing (%d) — framing knob inert", rowFlushes, batchFlushes)
+	}
+	if batchFlushes > 3 { // head + one full batch + end
+		t.Fatalf("batch=64 framing cost %d flushes for %d rows", batchFlushes, rows)
+	}
+}
+
+// countOnlyWriter counts flushes without synchronization — for tests
+// whose requests are strictly sequential.
+type countOnlyWriter struct {
+	http.ResponseWriter
+	flushes *int
+}
+
+func (w *countOnlyWriter) Flush() {
+	*w.flushes++
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func TestRetriableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrQuotaExceeded, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{&StatusError{Code: 500}, true},
+		{&StatusError{Code: 503}, true},
+		{&StatusError{Code: 400}, false},
+		{&StatusError{Code: 404}, false},
+		{io.ErrUnexpectedEOF, true},
+		{io.EOF, true},
+		{fmt.Errorf("wrapping: %w", io.ErrUnexpectedEOF), true},
+		{errors.New("some semantic failure"), false},
+	}
+	for i, c := range cases {
+		if got := Retriable(c.err); got != c.want {
+			t.Errorf("case %d: Retriable(%v) = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}

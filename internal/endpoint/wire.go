@@ -1,0 +1,383 @@
+package endpoint
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"sofya/internal/rdf"
+	"sofya/internal/sparql"
+)
+
+// wire.go is the batch-framed streaming side of the SPARQL HTTP
+// protocol. The in-process federation merge pulls shard rows in 64-row
+// batches (sparql's borrowed-iterator ring); a network hop must not
+// regress that to a round trip per row, so streamed prepared queries
+// cross the wire in the same granularity:
+//
+//	POST /sparql   query=<text>&stream=1[&batch=n][&orderspec=<text>]
+//
+//	→ 200 Content-Type: application/x-sofya-rows+jsonl
+//	  {"head":{"vars":["s","o"],"keys":[1]}}
+//	  {"rows":[[term,term],...], "keyvals":[[v],...]}   ≤ batch rows
+//	  ...
+//	  {"end":{"truncated":false}}                       — or —
+//	  {"error":"...","quota":true}
+//
+// Each frame is one JSON line, flushed as a unit: the consumer costs
+// one network read per batch, not per row. The terminal frame is either
+// an end frame (with the stream's truncation flag) or an error frame —
+// a stream that stops without one was cut mid-flight and the client
+// reports the transport error instead of a silently short result.
+//
+// orderspec carries the canonical text of the *original* ordered query
+// whose stripped enumeration this stream is (the federation's ORDER BY
+// pushdown). The server re-derives the deterministic ORDER BY keys from
+// it (sparql.AnalyzeShard — the same analysis the merge point runs) and
+// attaches each row's key values to the frames, so the merge point
+// receives keys instead of re-evaluating expressions per merged row.
+// Bare RAND() keys are never attached: their draws pair with rows in
+// whole-KB enumeration order, which only the merge point knows (no
+// shard can see where its rows land in the interleave), so they are
+// re-drawn merge-side from the seed ⊕ canonical-text stream.
+
+// StreamContentType is the media type of the batch-framed row stream.
+const StreamContentType = "application/x-sofya-rows+jsonl"
+
+// WireBatch is the default number of rows per stream frame — matched to
+// the 64-row batches the in-process merge pulls, so one network read
+// feeds one merge batch.
+const WireBatch = 64
+
+// maxWireBatch bounds client-requested frame sizes.
+const maxWireBatch = 4096
+
+type wireHead struct {
+	Vars []string `json:"vars"`
+	// Keys lists the ORDER BY key indices whose values ride along with
+	// every row (the deterministic keys of the orderspec query).
+	Keys []int `json:"keys,omitempty"`
+}
+
+type wireEnd struct {
+	Truncated bool `json:"truncated"`
+}
+
+type wireFrame struct {
+	Head    *wireHead     `json:"head,omitempty"`
+	Rows    [][]jsonTerm  `json:"rows,omitempty"`
+	KeyVals [][]wireValue `json:"keyvals,omitempty"`
+	End     *wireEnd      `json:"end,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Quota   bool          `json:"quota,omitempty"`
+}
+
+// wireValue is the JSON rendering of a sparql.Value ORDER BY key:
+// exactly one of the kind fields is meaningful, selected by K.
+type wireValue struct {
+	K string    `json:"k"` // "b" | "n" | "s" | "t" | "e"
+	B bool      `json:"b,omitempty"`
+	N float64   `json:"n,omitempty"`
+	S string    `json:"s,omitempty"`
+	T *jsonTerm `json:"t,omitempty"`
+}
+
+func valueToWire(v sparql.Value) wireValue {
+	if b, ok := v.AsBool(); ok {
+		return wireValue{K: "b", B: b}
+	}
+	if n, ok := v.AsNum(); ok {
+		return wireValue{K: "n", N: n}
+	}
+	if s, ok := v.AsStr(); ok {
+		return wireValue{K: "s", S: s}
+	}
+	if t, ok := v.AsTerm(); ok {
+		jt := termToJSON(t)
+		return wireValue{K: "t", T: &jt}
+	}
+	return wireValue{K: "e"}
+}
+
+func valueFromWire(w wireValue) (sparql.Value, error) {
+	switch w.K {
+	case "b":
+		return sparql.BoolValue(w.B), nil
+	case "n":
+		return sparql.NumValue(w.N), nil
+	case "s":
+		return sparql.StrValue(w.S), nil
+	case "t":
+		if w.T == nil {
+			return sparql.Value{}, errors.New("endpoint: term key value without a term")
+		}
+		t, err := termFromJSON(*w.T)
+		if err != nil {
+			return sparql.Value{}, err
+		}
+		return sparql.TermValue(t), nil
+	case "e":
+		return sparql.ErrValue(), nil
+	default:
+		return sparql.Value{}, fmt.Errorf("endpoint: unknown key value kind %q", w.K)
+	}
+}
+
+// orderKeyEvals compiles the deterministic ORDER BY key evaluators of
+// an orderspec query text: the canonical original query whose stripped
+// enumeration is being streamed. Returned evaluators run over projected
+// rows (the pushdown preserves the projection). RAND keys and keys the
+// analysis cannot compile are skipped — the merge point handles those.
+func orderKeyEvals(orderspec string) (idx []int, evals []func([]rdf.Term) sparql.Value, err error) {
+	q, err := sparql.Parse(orderspec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("endpoint: bad orderspec: %w", err)
+	}
+	shape := sparql.AnalyzeShard(q, nil)
+	for i, k := range shape.Keys {
+		if k.Eval == nil {
+			continue
+		}
+		idx = append(idx, i)
+		evals = append(evals, k.Eval)
+	}
+	return idx, evals, nil
+}
+
+// writeStream drains rows into batch frames on w. Any mid-stream error
+// — a shard quota trip, a failed upstream — becomes the terminal error
+// frame; transport write errors just stop the stream (the peer is gone).
+func writeStream(w http.ResponseWriter, rows Rows, keyIdx []int, keyEvals []func([]rdf.Term) sparql.Value, batch int) {
+	if batch <= 0 {
+		batch = WireBatch
+	} else if batch > maxWireBatch {
+		batch = maxWireBatch
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	w.Header().Set("Content-Type", StreamContentType)
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(f *wireFrame) bool {
+		if err := enc.Encode(f); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit(&wireFrame{Head: &wireHead{Vars: rows.Vars(), Keys: keyIdx}}) {
+		rows.Close()
+		return
+	}
+
+	frame := wireFrame{Rows: make([][]jsonTerm, 0, batch)}
+	if len(keyEvals) > 0 {
+		frame.KeyVals = make([][]wireValue, 0, batch)
+	}
+	flushBatch := func() bool {
+		if len(frame.Rows) == 0 {
+			return true
+		}
+		ok := emit(&frame)
+		frame.Rows = frame.Rows[:0]
+		if frame.KeyVals != nil {
+			frame.KeyVals = frame.KeyVals[:0]
+		}
+		return ok
+	}
+	for rows.Next() {
+		row := rows.Row()
+		jr := make([]jsonTerm, len(row))
+		for i, t := range row {
+			jr[i] = termToJSON(t)
+		}
+		frame.Rows = append(frame.Rows, jr)
+		if frame.KeyVals != nil {
+			kv := make([]wireValue, len(keyEvals))
+			for i, ev := range keyEvals {
+				kv[i] = valueToWire(ev(row))
+			}
+			frame.KeyVals = append(frame.KeyVals, kv)
+		}
+		if len(frame.Rows) == batch {
+			if !flushBatch() {
+				rows.Close()
+				return
+			}
+		}
+	}
+	if !flushBatch() {
+		rows.Close()
+		return
+	}
+	if err := rows.Err(); err != nil {
+		emit(&wireFrame{Error: err.Error(), Quota: errors.Is(err, ErrQuotaExceeded)})
+		rows.Close()
+		return
+	}
+	trunc := rows.Truncated()
+	rows.Close()
+	emit(&wireFrame{End: &wireEnd{Truncated: trunc}})
+}
+
+// wireRows is the client side of a batch-framed stream: Rows over an
+// HTTP response body, decoding one frame per network read. It
+// implements KeyedRows — rows of an orderspec stream carry their
+// deterministic ORDER BY key values, which the federation merge
+// consumes instead of re-evaluating expressions.
+type wireRows struct {
+	body    io.Closer
+	dec     *json.Decoder
+	cancel  context.CancelFunc // releases the request context; nil when caller-owned
+	vars    []string
+	keyIdx  []int
+	rows    [][]rdf.Term
+	keyvals [][]sparql.Value
+	bi      int
+	row     []rdf.Term
+	keys    []sparql.Value
+	err     error
+	trunc   bool
+	ended   bool // terminal frame seen
+	done    bool
+}
+
+// newWireRows reads the stream's head frame — the open completes when
+// the server has actually started answering, which is the signal hedged
+// reads race on.
+func newWireRows(body io.ReadCloser, cancel context.CancelFunc) (*wireRows, error) {
+	r := &wireRows{body: body, dec: json.NewDecoder(body), cancel: cancel}
+	var f wireFrame
+	if err := r.dec.Decode(&f); err != nil {
+		body.Close()
+		return nil, fmt.Errorf("endpoint: reading stream head: %w", err)
+	}
+	if f.Error != "" {
+		body.Close()
+		return nil, streamError(&f)
+	}
+	if f.Head == nil {
+		body.Close()
+		return nil, errors.New("endpoint: stream did not start with a head frame")
+	}
+	r.vars = f.Head.Vars
+	r.keyIdx = f.Head.Keys
+	return r, nil
+}
+
+func streamError(f *wireFrame) error {
+	if f.Quota {
+		return ErrQuotaExceeded
+	}
+	return fmt.Errorf("endpoint: remote stream: %s", f.Error)
+}
+
+func (r *wireRows) Vars() []string          { return r.vars }
+func (r *wireRows) Row() []rdf.Term         { return r.row }
+func (r *wireRows) Err() error              { return r.err }
+func (r *wireRows) Truncated() bool         { return r.trunc }
+func (r *wireRows) AttachedKeys() []int     { return r.keyIdx }
+func (r *wireRows) RowKeys() []sparql.Value { return r.keys }
+
+func (r *wireRows) Next() bool {
+	if r.done {
+		return false
+	}
+	for r.bi >= len(r.rows) {
+		if !r.decodeFrame() {
+			return false
+		}
+	}
+	r.row = r.rows[r.bi]
+	r.keys = nil
+	if r.keyvals != nil {
+		r.keys = r.keyvals[r.bi]
+	}
+	r.bi++
+	return true
+}
+
+// decodeFrame pulls the next frame; false at stream end (clean or not).
+func (r *wireRows) decodeFrame() bool {
+	var f wireFrame
+	if err := r.dec.Decode(&f); err != nil {
+		// The terminal frame never arrived: the connection died
+		// mid-stream. Surface the transport error rather than passing
+		// the prefix off as the whole result.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = fmt.Errorf("endpoint: stream cut mid-flight: %w", err)
+		r.finish()
+		return false
+	}
+	switch {
+	case f.Error != "":
+		r.err = streamError(&f)
+		r.ended = true
+		r.finish()
+		return false
+	case f.End != nil:
+		r.trunc = f.End.Truncated
+		r.ended = true
+		r.finish()
+		return false
+	}
+	rows := make([][]rdf.Term, len(f.Rows))
+	for i, jr := range f.Rows {
+		row := make([]rdf.Term, len(jr))
+		for j, jt := range jr {
+			t, err := termFromJSON(jt)
+			if err != nil {
+				r.err = err
+				r.finish()
+				return false
+			}
+			row[j] = t
+		}
+		rows[i] = row
+	}
+	r.rows, r.bi = rows, 0
+	r.keyvals = nil
+	if len(f.KeyVals) > 0 {
+		r.keyvals = make([][]sparql.Value, len(f.KeyVals))
+		for i, kvs := range f.KeyVals {
+			vals := make([]sparql.Value, len(kvs))
+			for j, kv := range kvs {
+				v, err := valueFromWire(kv)
+				if err != nil {
+					r.err = err
+					r.finish()
+					return false
+				}
+				vals[j] = v
+			}
+			r.keyvals[i] = vals
+		}
+	}
+	return true
+}
+
+func (r *wireRows) Close() { r.finish() }
+
+func (r *wireRows) finish() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.row, r.keys = nil, nil
+	r.body.Close()
+	if r.cancel != nil {
+		r.cancel()
+	}
+}
+
+var (
+	_ Rows      = (*wireRows)(nil)
+	_ KeyedRows = (*wireRows)(nil)
+)

@@ -1,0 +1,307 @@
+package endpoint
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sofya/internal/rdf"
+	"sofya/internal/sparql"
+)
+
+// wire_test.go covers the batch-framed stream protocol: value codec,
+// frame granularity (one flush per batch — the round-trip budget), and
+// behind-the-wire ORDER BY key attachment.
+
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []sparql.Value{
+		sparql.BoolValue(true),
+		sparql.BoolValue(false),
+		sparql.NumValue(3.25),
+		sparql.NumValue(0),
+		sparql.StrValue("hello"),
+		sparql.StrValue(""),
+		sparql.TermValue(rdf.NewIRI("http://x/a")),
+		sparql.TermValue(rdf.NewLangLiteral("Ay", "en")),
+		sparql.TermValue(rdf.NewTypedLiteral("1999", rdf.XSDGYear)),
+		sparql.ErrValue(),
+	}
+	for i, v := range vals {
+		got, err := valueFromWire(valueToWire(v))
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if c, ok := sparql.OrderValues(v, got); ok && c != 0 {
+			t.Errorf("value %d changed across the wire", i)
+		}
+		if vw := valueToWire(v); vw.K != valueToWire(got).K {
+			t.Errorf("value %d changed kind across the wire: %q vs %q", i, vw.K, valueToWire(got).K)
+		}
+	}
+	if _, err := valueFromWire(wireValue{K: "?"}); err == nil {
+		t.Error("unknown value kind was accepted")
+	}
+}
+
+// flushCountingWriter wraps a ResponseWriter and counts Flush calls —
+// each flush is one wire write the client pays one network read for,
+// so flushes bound the protocol's round trips.
+type flushCountingWriter struct {
+	http.ResponseWriter
+	mu      *sync.Mutex
+	flushes *int
+}
+
+func (w *flushCountingWriter) Flush() {
+	w.mu.Lock()
+	*w.flushes++
+	w.mu.Unlock()
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestWireBatchRoundTrips is the acceptance check for the framing
+// budget: streaming R rows costs head + ceil(R/64) row frames + end —
+// at most 2 flushes per 64-row batch window, never one per row.
+func TestWireBatchRoundTrips(t *testing.T) {
+	const rows = 256
+	local := NewLocal(bigKB(rows), 1)
+	inner := NewServer(local)
+	var mu sync.Mutex
+	flushes := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(&flushCountingWriter{ResponseWriter: w, mu: &mu, flushes: &flushes}, r)
+	}))
+	defer srv.Close()
+	client := NewClient("wire", srv.URL, nil)
+
+	pq, err := client.Prepare("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for stream.Next() {
+		n++
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatal(err)
+	}
+	stream.Close()
+	if n != rows {
+		t.Fatalf("streamed %d rows, want %d", n, rows)
+	}
+
+	mu.Lock()
+	got := flushes
+	mu.Unlock()
+	windows := (rows + WireBatch - 1) / WireBatch
+	budget := 2 * windows
+	if got > budget {
+		t.Fatalf("%d flushes for %d rows — exceeds 2 per %d-row batch window (budget %d)", got, rows, WireBatch, budget)
+	}
+	if got < windows {
+		t.Fatalf("only %d flushes for %d batch windows — frames are not being flushed individually", got, windows)
+	}
+}
+
+// TestWireStreamMatchesLocal: the framed stream must be byte-identical
+// to the in-process stream, truncation flag included.
+func TestWireStreamMatchesLocal(t *testing.T) {
+	k := bigKB(100)
+	const seed = 3
+	remote := NewLocal(k, seed)
+	srv := httptest.NewServer(NewServer(remote))
+	defer srv.Close()
+	client := NewClient("wire", srv.URL, nil)
+	local := NewLocal(k, seed)
+
+	const tmpl = "SELECT ?s ?o WHERE { ?s <http://x/p> ?o } ORDER BY RAND() LIMIT $n"
+	cq, err := client.Prepare(tmpl, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq, err := local.Prepare(tmpl, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 7, 100} {
+		cs, err := cq.Stream(context.Background(), sparql.IntArg(limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := lq.Stream(context.Background(), sparql.IntArg(limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ls.Next() {
+			if !cs.Next() {
+				t.Fatalf("limit %d: wire stream ended early", limit)
+			}
+			lr, cr := ls.Row(), cs.Row()
+			for i := range lr {
+				if lr[i] != cr[i] {
+					t.Fatalf("limit %d: row differs over the wire: %v vs %v", limit, cr, lr)
+				}
+			}
+		}
+		if cs.Next() {
+			t.Fatalf("limit %d: wire stream has extra rows", limit)
+		}
+		if ls.Err() != nil || cs.Err() != nil {
+			t.Fatalf("limit %d: errs %v / %v", limit, ls.Err(), cs.Err())
+		}
+		if ls.Truncated() != cs.Truncated() {
+			t.Fatalf("limit %d: truncation flag diverges", limit)
+		}
+		ls.Close()
+		cs.Close()
+	}
+}
+
+// TestWireTruncationPropagates: a row-capped server marks the end frame
+// and the client surfaces Truncated.
+func TestWireTruncationPropagates(t *testing.T) {
+	remote := NewLocalRestricted(bigKB(50), 1, Quota{MaxRows: 10})
+	srv := httptest.NewServer(NewServer(remote))
+	defer srv.Close()
+	client := NewClient("wire", srv.URL, nil)
+	pq, err := client.Prepare("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	n := 0
+	for stream.Next() {
+		n++
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("row-capped stream yielded %d rows, want 10", n)
+	}
+	if !stream.Truncated() {
+		t.Fatal("truncation flag lost across the wire")
+	}
+}
+
+// TestWireKeyedStream: StreamKeyed ships deterministic ORDER BY key
+// values with the rows; RAND keys are never shipped.
+func TestWireKeyedStream(t *testing.T) {
+	local := NewLocal(bigKB(30), 1)
+	srv := httptest.NewServer(NewServer(local))
+	defer srv.Close()
+	client := NewClient("wire", srv.URL, nil)
+
+	// The stripped enumeration of an ORDER BY ?o query: the pushdown
+	// form streams unordered, the orderspec names the keys.
+	pq, err := client.Prepare("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderspec := "SELECT ?s ?o WHERE { ?s <http://x/p> ?o } ORDER BY ?o LIMIT 5"
+	rows, err := StreamKeyed(context.Background(), pq, orderspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	kr, ok := rows.(KeyedRows)
+	if !ok {
+		t.Fatal("wire stream does not implement KeyedRows")
+	}
+	if got := kr.AttachedKeys(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("attached keys = %v, want [0]", got)
+	}
+	for rows.Next() {
+		keys := kr.RowKeys()
+		if len(keys) != 1 {
+			t.Fatalf("row carries %d keys, want 1", len(keys))
+		}
+		// The shipped key must equal the key evaluated locally: ?o is
+		// the row's second column.
+		want := sparql.TermValue(rows.Row()[1])
+		if c, ok := sparql.OrderValues(keys[0], want); !ok || c != 0 {
+			t.Fatalf("shipped key %v does not match row term %v", keys[0], rows.Row()[1])
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// RAND keys stay merge-side: an ORDER BY RAND() orderspec attaches
+	// nothing.
+	randSpec := "SELECT ?s ?o WHERE { ?s <http://x/p> ?o } ORDER BY RAND() LIMIT 5"
+	rrows, err := StreamKeyed(context.Background(), pq, randSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rrows.Close()
+	if kr, ok := rrows.(KeyedRows); ok && len(kr.AttachedKeys()) != 0 {
+		t.Fatalf("RAND key was shipped over the wire: %v", kr.AttachedKeys())
+	}
+}
+
+// TestWireBadOrderspec: an unparseable orderspec is a 400, not a
+// silent unkeyed stream.
+func TestWireBadOrderspec(t *testing.T) {
+	local := NewLocal(testKB(), 1)
+	srv := httptest.NewServer(NewServer(local))
+	defer srv.Close()
+	client := NewClient("wire", srv.URL, nil)
+	pq, err := client.Prepare("SELECT ?x ?y WHERE { ?x <http://x/p> ?y }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StreamKeyed(context.Background(), pq, "NOT SPARQL AT ALL"); err == nil {
+		t.Fatal("malformed orderspec was accepted")
+	}
+}
+
+// TestWirePlainResultsFallback: a server that answers a stream request
+// with a plain JSON document (an older build) is drained and replayed.
+func TestWirePlainResultsFallback(t *testing.T) {
+	local := NewLocal(testKB(), 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Ignore the stream flag: answer like a pre-streaming server.
+		res, err := local.Select(r.FormValue("query"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		body, _ := MarshalSelect(res)
+		w.Header().Set("Content-Type", ResultsContentType)
+		w.Write(body)
+	}))
+	defer srv.Close()
+	client := NewClient("old", srv.URL, nil)
+	pq, err := client.Prepare("SELECT ?x ?y WHERE { ?x <http://x/p> ?y }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("fallback stream yielded %d rows, want 3", n)
+	}
+}

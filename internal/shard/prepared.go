@@ -269,7 +269,7 @@ func (p *groupPrepared) Stream(ctx context.Context, args ...sparql.Arg) (endpoin
 	if p.strat == stratMergeOrdered {
 		return p.streamOrdered(ctx, args)
 	}
-	sources, err := p.openStreams(ctx, args, false)
+	sources, err := p.openStreams(ctx, args, false, "")
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +285,23 @@ func (p *groupPrepared) streamOrdered(ctx context.Context, args []sparql.Arg) (e
 	if err != nil {
 		return nil, err
 	}
-	sources, err := p.openStreams(ctx, args, true)
+	// When any key is deterministic (row-computable), offer shards the
+	// chance to evaluate keys behind the wire: the canonical original
+	// text names the keys, and remote shards that understand the keyed
+	// stream protocol attach per-row values the merge consumes instead
+	// of re-evaluating. RAND keys always stay merge-side.
+	orderText := ""
+	for _, k := range spec.keys {
+		if k.Eval != nil {
+			if orderText = spec.text; orderText == "" {
+				if orderText, err = p.tmpl.Text(args...); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+	}
+	sources, err := p.openStreams(ctx, args, true, orderText)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +312,10 @@ func (p *groupPrepared) streamOrdered(ctx context.Context, args []sparql.Arg) (e
 // concurrently. borrowed selects the borrowed-row contract (for the
 // ordered merge, which copies only winning rows); unordered merges keep
 // the regular contract, since fanoutRows hands shard rows to callers.
-func (p *groupPrepared) openStreams(ctx context.Context, args []sparql.Arg, borrowed bool) ([]rowsSource, error) {
+// A non-empty orderText (borrowed path only) asks each shard for a
+// keyed stream — ORDER BY key values attached per row; shards without
+// the extension fall back to plain borrowed streams transparently.
+func (p *groupPrepared) openStreams(ctx context.Context, args []sparql.Arg, borrowed bool, orderText string) ([]rowsSource, error) {
 	pargs := p.pushArgs(args)
 	sources := make([]rowsSource, len(p.push))
 	// The shard streams outlive the fan-out (the caller pulls from them
@@ -308,7 +327,9 @@ func (p *groupPrepared) openStreams(ctx context.Context, args []sparql.Arg, borr
 	err := p.g.fanout(ctx, func(_ context.Context, i int) error {
 		var rows endpoint.Rows
 		var err error
-		if borrowed {
+		if borrowed && orderText != "" {
+			rows, err = endpoint.StreamKeyed(ctx, p.push[i], orderText, pargs...)
+		} else if borrowed {
 			rows, err = endpoint.StreamBorrowed(ctx, p.push[i], pargs...)
 		} else {
 			rows, err = p.push[i].Stream(ctx, pargs...)

@@ -284,6 +284,32 @@ func CompareKeys(a, b []Value, desc []bool) int {
 // NumValue wraps a float as the numeric Value RAND() keys produce.
 func NumValue(f float64) Value { return numValue(f) }
 
+// BoolValue wraps a boolean as an ORDER BY key Value.
+func BoolValue(b bool) Value { return boolValue(b) }
+
+// StrValue wraps a string as an ORDER BY key Value.
+func StrValue(s string) Value { return strValue(s) }
+
+// TermValue wraps an RDF term as an ORDER BY key Value.
+func TermValue(t rdf.Term) Value { return termValue(t) }
+
+// ErrValue is the evaluation-error Value; ORDER BY treats it as
+// incomparable, so a shipped error key sorts exactly like a merge-point
+// evaluation error would.
+func ErrValue() Value { return errValue() }
+
+// AsBool unpacks a boolean Value.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == vBool }
+
+// AsNum unpacks a numeric Value.
+func (v Value) AsNum() (float64, bool) { return v.n, v.kind == vNum }
+
+// AsStr unpacks a string Value.
+func (v Value) AsStr() (string, bool) { return v.s, v.kind == vStr }
+
+// AsTerm unpacks an RDF-term Value.
+func (v Value) AsTerm() (rdf.Term, bool) { return v.t, v.kind == vTerm }
+
 // RandFloats returns the RAND() draw stream an engine with the given
 // seed derives for the canonical text of a query — the same stream, in
 // the same order, that the engine pairs with rows as it enumerates

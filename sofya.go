@@ -74,6 +74,7 @@ package sofya
 import (
 	"io"
 
+	"sofya/internal/cluster"
 	"sofya/internal/core"
 	"sofya/internal/endpoint"
 	"sofya/internal/ilp"
@@ -235,6 +236,29 @@ func NewShardedEndpointFromSnapshots(seed int64, paths ...string) (*ShardedEndpo
 // NewSPARQLClient builds an Endpoint speaking the SPARQL HTTP protocol.
 func NewSPARQLClient(name, baseURL string) *SPARQLClient {
 	return endpoint.NewClient(name, baseURL, nil)
+}
+
+// Networked federation: a sharded endpoint whose shards live behind
+// HTTP, each served by a replica set with health checks, failover and
+// optional hedged reads. See internal/cluster and ARCHITECTURE.md
+// ("Networked federation").
+type (
+	// ClusterEndpoint is a shard.Group whose shards are replica sets of
+	// remote SPARQL endpoints. It answers byte-identically to the
+	// unsharded Local over the same KB and seed.
+	ClusterEndpoint = cluster.Group
+	// ClusterOptions tunes replica health checking, failover and hedged
+	// reads.
+	ClusterOptions = cluster.Options
+)
+
+// NewClusterEndpoint federates remote shard replicas: shardURLs[i]
+// lists the base URLs of the replicas serving shard i of an
+// n-way subject-hash partition named name (as written by cmd/kbgen
+// -shards or served by sparqld -shard-of). Close the returned group to
+// stop its health probes.
+func NewClusterEndpoint(name string, seed int64, shardURLs [][]string, opt ClusterOptions) (*ClusterEndpoint, error) {
+	return cluster.FromURLs(name, seed, shardURLs, opt)
 }
 
 // NewCachingEndpoint decorates inner with an LRU memo of successful
