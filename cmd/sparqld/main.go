@@ -86,6 +86,10 @@ func main() {
 		probeEvery = flag.Duration("probe-every", 2*time.Second, "replica health probe interval for a -peers front-end (0 = off)")
 		failAfter  = flag.Int("fail-after", 3, "consecutive failures before a replica is ejected")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
+
+		maxInflight  = flag.Int("max-inflight", 0, "admission control: concurrent queries allowed (0 = unlimited); excess is queued then shed as 429")
+		queue        = flag.Int("queue", 0, "admission control: callers allowed to wait for a slot once -max-inflight is reached")
+		queueTimeout = flag.Duration("queue-timeout", 0, "admission control: how long a queued caller waits before it is shed (0 = until a slot frees)")
 	)
 	flag.Parse()
 
@@ -191,7 +195,24 @@ func main() {
 		log.Printf("sparqld: serving %q (%d facts, %d relations, %d shard(s), mmap=%v) on %s",
 			base.Name(), base.Size(), len(base.Relations()), *shards, base.Mapped(), *addr)
 	}
-	mux := newServingMux(serve, clusterGroup)
+	var adm *endpoint.Admission
+	if *maxInflight > 0 {
+		// Admission wraps the whole serving stack (single endpoint,
+		// shard group or cluster front-end alike): at most -max-inflight
+		// queries execute at once, -queue callers wait (for at most
+		// -queue-timeout), and everything past that is shed as HTTP 429
+		// with the overload marker — retriable, so hedged cluster
+		// clients fail over to a less-loaded replica.
+		adm = endpoint.NewAdmission(serve, endpoint.Limits{
+			MaxInFlight:  *maxInflight,
+			Queue:        *queue,
+			QueueTimeout: *queueTimeout,
+		})
+		serve = adm
+		log.Printf("sparqld: admission control: max-inflight=%d queue=%d queue-timeout=%s",
+			*maxInflight, *queue, *queueTimeout)
+	}
+	mux := newServingMux(serve, clusterGroup, adm)
 	if err := serveHTTP(*addr, mux, *drain); err != nil {
 		fatal(err)
 	}
@@ -227,7 +248,7 @@ func (r *statusRecorder) Flush() {
 // newServingMux assembles the serving surface: the query handler at /,
 // liveness at /healthz, expvar counters at /debug/vars, and pprof under
 // /debug/pprof/ — the "measured, not asserted" serving contract.
-func newServingMux(serve endpoint.Endpoint, cg *cluster.Group) *http.ServeMux {
+func newServingMux(serve endpoint.Endpoint, cg *cluster.Group, adm *endpoint.Admission) *http.ServeMux {
 	m := &reqMetrics{}
 	sparqlHandler := endpoint.NewServerEndpoint(serve)
 	mux := http.NewServeMux()
@@ -263,14 +284,14 @@ func newServingMux(serve endpoint.Endpoint, cg *cluster.Group) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	publishVars(serve, cg, m)
+	publishVars(serve, cg, adm, m)
 	return mux
 }
 
 // publishVars exposes the endpoint's counters over expvar: HTTP request
-// latency, endpoint query/row statistics, and (for a cluster front-end)
-// per-replica health and traffic.
-func publishVars(serve endpoint.Endpoint, cg *cluster.Group, m *reqMetrics) {
+// latency, endpoint query/row statistics, admission-control sheds, and
+// (for a cluster front-end) per-replica health and traffic.
+func publishVars(serve endpoint.Endpoint, cg *cluster.Group, adm *endpoint.Admission, m *reqMetrics) {
 	expvar.Publish("sofya", expvar.Func(func() any {
 		vars := map[string]any{
 			"endpoint": serve.Name(),
@@ -287,6 +308,18 @@ func publishVars(serve endpoint.Endpoint, cg *cluster.Group, m *reqMetrics) {
 			vars["rows"] = st.Rows
 			vars["truncations"] = st.Truncations
 			vars["denied"] = st.Denied
+		}
+		if adm != nil {
+			st := adm.AdmissionStats()
+			vars["admission"] = map[string]any{
+				"admitted":        st.Admitted,
+				"queued":          st.Queued,
+				"shed":            st.Shed(),
+				"shed_queue_full": st.ShedQueueFull,
+				"shed_timeout":    st.ShedTimeout,
+				"in_flight":       st.InFlight,
+				"waiting":         st.Waiting,
+			}
 		}
 		if cg != nil {
 			var sets []any

@@ -121,12 +121,36 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req *wireRe
 	writeStream(w, rows, keyIdx, keyEvals, req.batch)
 }
 
+// OverloadedHeader marks a 429 as a load shed rather than a quota
+// rejection: the server was saturated when this request arrived, and a
+// retry — ideally on another replica — may succeed. Clients map a 429
+// carrying it to ErrOverloaded (retriable) instead of ErrQuotaExceeded
+// (terminal).
+const OverloadedHeader = "X-Sofya-Overloaded"
+
 func writeQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) {
+		w.Header().Set(OverloadedHeader, "1")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
 	if errors.Is(err, ErrQuotaExceeded) {
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	}
 	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// tooManyErr maps a 429 answer back to the error the server meant: a
+// shed (ErrOverloaded, retriable) when the overload marker — the
+// header, or "overloaded" in the body of a proxy that stripped it — is
+// present, the terminal ErrQuotaExceeded otherwise.
+func tooManyErr(resp *http.Response, body []byte) error {
+	if resp.Header.Get(OverloadedHeader) != "" || strings.Contains(string(body), "overloaded") {
+		return ErrOverloaded
+	}
+	return ErrQuotaExceeded
 }
 
 func extractQuery(r *http.Request) (*wireReq, error) {
@@ -204,8 +228,17 @@ func bodySnippet(body []byte) string {
 // a caller's own context ending — are not (a replica would answer the
 // same, or the caller asked to stop).
 func Retriable(err error) bool {
-	if err == nil ||
-		errors.Is(err, ErrQuotaExceeded) ||
+	if err == nil {
+		return false
+	}
+	// A shed is the one member of the quota family worth retrying: the
+	// answering machine was saturated, not the query wrong — another
+	// replica may have capacity. Checked before the quota test because
+	// errors.Is(ErrOverloaded, ErrQuotaExceeded) holds.
+	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	if errors.Is(err, ErrQuotaExceeded) ||
 		errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded) {
 		return false
@@ -296,7 +329,7 @@ func (c *Client) roundTrip(ctx context.Context, query string) (*sparql.Result, e
 	case http.StatusOK:
 		return UnmarshalResults(body)
 	case http.StatusTooManyRequests:
-		return nil, ErrQuotaExceeded
+		return nil, tooManyErr(resp, body)
 	default:
 		return nil, &StatusError{URL: c.baseURL, Code: resp.StatusCode, Snippet: bodySnippet(body)}
 	}
@@ -320,8 +353,9 @@ func (c *Client) openStream(ctx context.Context, query, orderspec string) (Rows,
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
-		return nil, ErrQuotaExceeded
+		return nil, tooManyErr(resp, body)
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()

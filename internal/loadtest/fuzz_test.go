@@ -1,0 +1,37 @@
+package loadtest
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBucketIndex pins the bucket function's contract for arbitrary
+// inputs: it never panics, stays in range, round-trips through
+// bucketBound, and is monotone across the bucket boundary.
+func FuzzBucketIndex(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(-1))
+	f.Add(int64(1))
+	f.Add(int64(subCount*2 - 1))
+	f.Add(int64(subCount * 2))
+	f.Add(int64(math.MaxInt64))
+	f.Add(int64(math.MinInt64))
+	f.Fuzz(func(t *testing.T, v int64) {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		b := bucketBound(i)
+		if v > 0 && b < v {
+			t.Fatalf("bound %d below value %d", b, v)
+		}
+		if got := bucketIndex(b); got != i {
+			t.Fatalf("round trip: bucketIndex(bucketBound(%d)=%d) = %d", i, b, got)
+		}
+		if b < math.MaxInt64 {
+			if got := bucketIndex(b + 1); got != i+1 {
+				t.Fatalf("monotonicity: bucketIndex(%d+1) = %d, want %d", b, got, i+1)
+			}
+		}
+	})
+}

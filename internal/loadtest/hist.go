@@ -1,0 +1,157 @@
+// Package loadtest measures concurrent serving behavior instead of
+// asserting it: an open-loop (Poisson-arrival) and closed-loop
+// (fixed-concurrency) load generator that drives any endpoint.Endpoint
+// — an in-process Local, a decorated stack, a federation group, or an
+// HTTP client for a live sparqld — with a weighted mix of prepared
+// probe shapes, and a log-bucketed HDR-style latency histogram that
+// reports p50/p90/p99/p999, max, throughput, and error/shed counts.
+//
+// The two loops answer different questions. The closed loop ("N
+// clients, back to back") measures capacity: throughput at saturation
+// and how latency degrades as concurrency grows — the sweep that shows
+// whether admission control keeps p99 bounded under overload or lets
+// it collapse. The open loop ("λ arrivals per second, regardless of
+// completions") measures behavior at a given offered load: unlike a
+// closed loop it does not self-throttle when the server slows down, so
+// it exposes queue growth the way real traffic — which does not wait
+// for other users' queries — would.
+//
+// Results marshal to JSON for machines and render to a markdown table
+// for EXPERIMENTS.md; cmd/loadtest is the CLI.
+package loadtest
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// The histogram buckets durations (in nanoseconds) on a logarithmic
+// grid with linear sub-buckets, HDR-histogram style: values below
+// 2*subCount are exact, and each power-of-two octave above splits into
+// subCount sub-buckets, for a worst-case relative error of 1/subCount
+// (~3%) at any magnitude — microseconds and minutes share one fixed
+// array of numBuckets counters, no allocation per Record.
+const (
+	subBits  = 5
+	subCount = 1 << subBits // 32 sub-buckets per octave
+
+	// numBuckets covers every int64 nanosecond value: the top octave
+	// (bits.Len64 == 63) lands at index 57*subCount + 63.
+	numBuckets = 57*subCount + subCount*2
+)
+
+// bucketIndex maps a duration in nanoseconds to its bucket. Negative
+// values clamp to bucket 0. The mapping is monotone non-decreasing.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < subCount*2 {
+		return int(v) // exact region: one value per bucket
+	}
+	exp := bits.Len64(v) - (subBits + 1)
+	return exp<<subBits + int(v>>uint(exp))
+}
+
+// bucketBound returns the largest nanosecond value that maps to bucket
+// i — the inverse of bucketIndex in the sense that
+// bucketIndex(bucketBound(i)) == i for every i < numBuckets.
+func bucketBound(i int) int64 {
+	if i < subCount*2 {
+		return int64(i)
+	}
+	exp := i>>subBits - 1
+	sub := i&(subCount-1) | subCount
+	bound := uint64(sub+1)<<uint(exp) - 1
+	if bound > math.MaxInt64 {
+		bound = math.MaxInt64
+	}
+	return int64(bound)
+}
+
+// Hist is a fixed-size log-bucketed latency histogram. The zero value
+// is ready to use. A Hist is not safe for concurrent use: the load
+// generators record into per-worker histograms and Merge them.
+type Hist struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    int64
+	max    int64
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)]++
+	h.total++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge adds o's observations into h. Merging is commutative and
+// associative: any grouping of per-worker histograms yields the same
+// counts, sum and max.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count is the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Max is the largest recorded observation (0 when empty).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean is the arithmetic mean of the recorded observations (exact, not
+// bucketed; 0 when empty).
+func (h *Hist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.total))
+}
+
+// Quantile returns an upper bound on the q-quantile observation: the
+// bound of the bucket holding the ceil(q*Count)-th smallest recording,
+// clamped to the exact Max. q outside [0,1] clamps. Quantile is
+// monotone in q, and its relative error is bounded by the bucket width
+// (~3%). Returns 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if b := bucketBound(i); b < h.max {
+				return time.Duration(b)
+			}
+			return time.Duration(h.max)
+		}
+	}
+	return time.Duration(h.max) // unreachable: seen ends at total ≥ rank
+}

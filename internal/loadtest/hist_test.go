@@ -1,0 +1,170 @@
+package loadtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The exact region: every nanosecond value below 2*subCount gets its
+// own bucket, so sub-microsecond latencies are not smeared together.
+func TestBucketExactRegion(t *testing.T) {
+	for v := int64(0); v < subCount*2; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want exact", v, got)
+		}
+		if got := bucketBound(int(v)); got != v {
+			t.Fatalf("bucketBound(%d) = %d, want exact", v, got)
+		}
+	}
+}
+
+// Bucket boundaries are exact: the bound of bucket i maps back to i,
+// and the next value up maps to i+1 — no value falls between buckets,
+// none is claimed by two.
+func TestBucketBoundaryExactness(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		b := bucketBound(i)
+		if got := bucketIndex(b); got != i {
+			t.Fatalf("bucketIndex(bucketBound(%d)=%d) = %d", i, b, got)
+		}
+		if b < math.MaxInt64 {
+			if got := bucketIndex(b + 1); got != i+1 {
+				t.Fatalf("bucketIndex(%d+1) = %d, want %d", b, got, i+1)
+			}
+		}
+	}
+	if got := bucketIndex(math.MaxInt64); got != numBuckets-1 {
+		t.Fatalf("MaxInt64 bucket = %d, want %d", got, numBuckets-1)
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative bucket = %d, want 0", got)
+	}
+}
+
+// The bucketing's relative error stays under the design bound: the
+// bucket bound overestimates a recorded value by at most 1/subCount.
+func TestBucketRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 100000; n++ {
+		v := rng.Int63()
+		b := bucketBound(bucketIndex(v))
+		if b < v {
+			t.Fatalf("bound %d below value %d", b, v)
+		}
+		if rel := float64(b-v) / float64(v+1); rel > 1.0/subCount {
+			t.Fatalf("relative error %f for value %d (bound %d)", rel, v, b)
+		}
+	}
+}
+
+func TestQuantileMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Hist
+	for i := 0; i < 50000; i++ {
+		// Log-uniform latencies: nanoseconds to seconds.
+		h.Record(time.Duration(math.Exp(rng.Float64() * math.Log(1e9))))
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile(%f) = %v < previous %v", q, cur, prev)
+		}
+		prev = cur
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("Quantile(1) = %v, Max = %v", h.Quantile(1), h.Max())
+	}
+	if h.Quantile(2) != h.Max() || h.Quantile(-1) > h.Quantile(0) {
+		t.Fatal("out-of-range q must clamp")
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(123 * time.Microsecond)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 123*time.Microsecond {
+			t.Fatalf("single-value Quantile(%f) = %v", q, got)
+		}
+	}
+	if h.Count() != 1 || h.Mean() != 123*time.Microsecond {
+		t.Fatalf("count/mean = %d/%v", h.Count(), h.Mean())
+	}
+}
+
+// Quantiles of a known distribution land in the right bucket: 1000
+// distinct values 1ms..1000ms, p50 within a bucket width of 500ms.
+func TestQuantileKnownDistribution(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Millisecond}, {0.9, 900 * time.Millisecond}, {0.99, 990 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*(1+2.0/subCount) {
+			t.Fatalf("Quantile(%f) = %v, want within a bucket of %v", c.q, got, c.want)
+		}
+	}
+}
+
+// Merge is associative and commutative: any grouping of per-worker
+// histograms produces identical counts, quantiles, sum and max.
+func TestMergeAssociativity(t *testing.T) {
+	mk := func(seed int64, n int) *Hist {
+		rng := rand.New(rand.NewSource(seed))
+		var h Hist
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+		}
+		return &h
+	}
+	a, b, c := mk(1, 1000), mk(2, 500), mk(3, 1500)
+
+	// (a+b)+c
+	var left Hist
+	left.Merge(a)
+	left.Merge(b)
+	var lc Hist
+	lc.Merge(&left)
+	lc.Merge(c)
+	// a+(b+c), merged in a different order
+	var right Hist
+	right.Merge(c)
+	right.Merge(b)
+	var rc Hist
+	rc.Merge(&right)
+	rc.Merge(a)
+
+	if lc != rc {
+		t.Fatal("merge order changed the histogram")
+	}
+	if lc.Count() != 3000 {
+		t.Fatalf("merged count = %d", lc.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if lc.Quantile(q) != rc.Quantile(q) {
+			t.Fatalf("quantile %f differs across merge orders", q)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * 37 * time.Nanosecond)
+	}
+	if h.Count() == 0 {
+		b.Fatal("nothing recorded")
+	}
+}
